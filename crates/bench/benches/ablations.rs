@@ -1,0 +1,176 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **single-word IDs vs. split metadata** — MCFI packs the version and
+//!   the ECN into one word so a check is one load + one compare; the
+//!   ablation keeps them in two separate atomics (a TML-ish layout) and
+//!   pays two loads + two compares.
+//! * **array Tary vs. hash-map Tary** — §5.1 discusses and rejects a hash
+//!   map because of the extra instructions per lookup.
+//! * **alignment no-ops vs. address masking** — footnote 1 considers
+//!   masking the target's low bits instead of aligning targets; masking
+//!   adds an instruction to the hot path.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::RwLock;
+
+use mcfi_tables::{Id, IdTables, TablesConfig};
+
+const CODE: usize = 4096;
+const CLASSES: u32 = 64;
+
+fn filled_tables() -> IdTables {
+    let t = IdTables::new(TablesConfig { code_size: CODE, bary_slots: CLASSES as usize });
+    t.update(
+        |a| (a % 16 == 0).then_some((a / 16) as u32 % CLASSES),
+        |s| Some(s as u32 % CLASSES),
+    );
+    t
+}
+
+/// Split-metadata layout: ECN and version in separate atomic arrays.
+struct SplitTables {
+    ecn: Vec<AtomicU32>,
+    version: Vec<AtomicU32>,
+    bary_ecn: Vec<AtomicU32>,
+    bary_version: Vec<AtomicU32>,
+}
+
+impl SplitTables {
+    fn new() -> Self {
+        let n = CODE / 4;
+        let s = SplitTables {
+            ecn: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            version: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            bary_ecn: (0..CLASSES as usize).map(|_| AtomicU32::new(0)).collect(),
+            bary_version: (0..CLASSES as usize).map(|_| AtomicU32::new(0)).collect(),
+        };
+        for i in 0..n {
+            if (i * 4) % 16 == 0 {
+                s.ecn[i].store((i as u32 / 4) % CLASSES + 1, Ordering::Relaxed);
+                s.version[i].store(1, Ordering::Relaxed);
+            }
+        }
+        for (i, e) in s.bary_ecn.iter().enumerate() {
+            e.store(i as u32 % CLASSES + 1, Ordering::Relaxed);
+        }
+        for v in &s.bary_version {
+            v.store(1, Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Two loads and two compares per side: the cost MCFI's packed IDs
+    /// avoid.
+    fn check(&self, slot: usize, addr: u64) -> bool {
+        let idx = (addr / 4) as usize;
+        if !addr.is_multiple_of(4) || idx >= self.ecn.len() {
+            return false;
+        }
+        loop {
+            let be = self.bary_ecn[slot].load(Ordering::Acquire);
+            let bv = self.bary_version[slot].load(Ordering::Acquire);
+            let te = self.ecn[idx].load(Ordering::Acquire);
+            let tv = self.version[idx].load(Ordering::Acquire);
+            if te == 0 {
+                return false;
+            }
+            if bv != tv {
+                std::hint::spin_loop();
+                continue;
+            }
+            return be == te;
+        }
+    }
+}
+
+fn bench_id_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("id_packing");
+    let packed = filled_tables();
+    group.bench_function("packed_single_word", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            let r = packed.check(black_box((addr / 16) as usize % CLASSES as usize), addr);
+            addr = (addr + 16) % CODE as u64;
+            black_box(r).is_ok()
+        })
+    });
+    let split = SplitTables::new();
+    group.bench_function("split_metadata", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            let r = split.check(black_box((addr / 16) as usize % CLASSES as usize), addr);
+            addr = (addr + 16) % CODE as u64;
+            black_box(r)
+        })
+    });
+    group.finish();
+}
+
+fn bench_table_repr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tary_repr");
+    let array = filled_tables();
+    group.bench_function("array", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            let w = array.tary_word(black_box(addr));
+            addr = (addr + 16) % CODE as u64;
+            black_box(w)
+        })
+    });
+    // The rejected design: a hash map from address to ID, guarded by a
+    // readers-writer lock so it can be updated at runtime.
+    let map: RwLock<HashMap<u64, u32>> = RwLock::new(
+        (0..CODE as u64)
+            .step_by(16)
+            .map(|a| {
+                (a, Id::encode(
+                    mcfi_tables::Ecn::new((a / 16) as u32 % CLASSES),
+                    mcfi_tables::Version::new(1),
+                )
+                .word())
+            })
+            .collect(),
+    );
+    group.bench_function("hash_map", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            let w = map.read().get(&black_box(addr)).copied().unwrap_or(0);
+            addr = (addr + 16) % CODE as u64;
+            black_box(w)
+        })
+    });
+    group.finish();
+}
+
+fn bench_align_vs_mask(c: &mut Criterion) {
+    // Footnote 1: instead of aligning targets with no-ops, mask the two
+    // low bits of the target before the Tary lookup. The mask variant
+    // adds an `and` to every check.
+    let tables = filled_tables();
+    let mut group = c.benchmark_group("align_vs_mask");
+    group.bench_function("aligned_targets", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            let r = tables.check((addr / 16) as usize % CLASSES as usize, black_box(addr));
+            addr = (addr + 16) % CODE as u64;
+            black_box(r).is_ok()
+        })
+    });
+    group.bench_function("masked_targets", |b| {
+        let mut addr = 1u64; // deliberately misaligned inputs
+        b.iter(|| {
+            let masked = black_box(addr) & !3;
+            let r = tables.check((masked / 16) as usize % CLASSES as usize, masked);
+            addr = (addr + 16) % CODE as u64;
+            black_box(r).is_ok()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_id_packing, bench_table_repr, bench_align_vs_mask);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion version of the Fig. 5 measurement on a small benchmark:
+//! wall-clock time to execute the `mcf` workload with and without MCFI
+//! instrumentation (the printed simulated-cycle ratio is what Fig. 5
+//! reports; this bench tracks the harness itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcfi::{Arch, BuildOptions, Policy};
+use mcfi_workloads::Variant;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_mcf");
+    group.sample_size(10);
+    for (label, policy) in [("mcfi", Policy::Mcfi), ("nocfi", Policy::NoCfi)] {
+        let opts = BuildOptions { policy, arch: Arch::X86_64, verify: false };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = mcfi::run_workload("mcf", Variant::Fixed, &opts).expect("runs");
+                black_box(r.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let src = mcfi_workloads::source("gcc", Variant::Fixed);
+    let opts = BuildOptions::default();
+    c.bench_function("compile_gcc_workload", |b| {
+        b.iter(|| {
+            let m = mcfi::compile_module("gcc", black_box(&src), &opts).expect("compiles");
+            black_box(m.code.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_workload, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmark of the §8.1 synchronization strategies:
+//! one check transaction under MCFI's single-word scheme vs. TML vs. a
+//! readers-writer lock vs. a CAS mutex.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mcfi_tables::stm::all_strategies;
+use mcfi_tables::TablesConfig;
+
+fn bench_checks(c: &mut Criterion) {
+    let config = TablesConfig { code_size: 1024, bary_slots: 64 };
+    let mut group = c.benchmark_group("txcheck");
+    for strategy in all_strategies(config) {
+        strategy.update(
+            &|a| (a % 16 == 0).then_some((a / 16 % 64) as u32),
+            &|s| Some((s % 64) as u32),
+        );
+        group.bench_function(strategy.name(), |b| {
+            let mut addr = 0u64;
+            b.iter(|| {
+                let r = strategy.check(black_box((addr / 16 % 64) as usize), black_box(addr));
+                addr = (addr + 16) % 1024;
+                black_box(r).is_ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let config = TablesConfig { code_size: 64 * 1024, bary_slots: 1024 };
+    let mut group = c.benchmark_group("txupdate");
+    group.sample_size(20);
+    for strategy in all_strategies(config) {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                strategy.update(
+                    &|a| (a % 16 == 0).then_some((a / 16 % 512) as u32),
+                    &|s| Some((s % 512) as u32),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checks, bench_update);
+criterion_main!(benches);

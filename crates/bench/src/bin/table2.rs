@@ -1,0 +1,31 @@
+//! Regenerates **Table 2**: the residual violation kinds K1 and K2 for
+//! the benchmarks that still report violations after false-positive
+//! elimination, plus the `K1-fixed` row (cases that required a source
+//! change — the wrapper-function fix of §6).
+
+use mcfi_analyzer::analyze;
+use mcfi_workloads::{source, Variant, BENCHMARKS};
+
+fn main() {
+    println!("Table 2 — residual K1/K2 violation kinds\n");
+    println!("{:>12} {:>4} {:>4} {:>9}", "benchmark", "K1", "K2", "K1-fixed");
+    for b in BENCHMARKS {
+        let src = source(b, Variant::Original);
+        let tp = mcfi_minic::parse_and_check(&src).unwrap_or_else(|e| panic!("{b}: {e}"));
+        let r = analyze(&tp, &src);
+        if r.vae == 0 {
+            continue; // the clean benchmarks do not appear in Table 2
+        }
+        println!("{:>12} {:>4} {:>4} {:>9}", b, r.k1, r.k2, r.k1_fixed);
+    }
+    println!("\n(paper: only K1 cases need fixing; K2 round trips run correctly)");
+
+    // Demonstrate the claim: the Fixed variants of the K1 benchmarks run
+    // cleanly under MCFI.
+    for b in ["perlbench", "gcc", "libquantum"] {
+        let r = mcfi::run_workload(b, Variant::Fixed, &mcfi::BuildOptions::default())
+            .unwrap_or_else(|e| panic!("{b}: {e}"));
+        println!("{b} (fixed) runs under MCFI: {:?}", r.outcome);
+        assert!(matches!(r.outcome, mcfi::Outcome::Exit { .. }));
+    }
+}

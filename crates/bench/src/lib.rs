@@ -1,0 +1,148 @@
+//! Shared harness utilities for regenerating every table and figure of
+//! *Modular Control-Flow Integrity* (PLDI 2014).
+//!
+//! Each `src/bin/*.rs` binary regenerates one artifact:
+//!
+//! | binary       | paper artifact |
+//! |--------------|----------------|
+//! | `table1`     | Table 1 — C1 violations & false-positive elimination |
+//! | `table2`     | Table 2 — residual K1/K2 kinds |
+//! | `table3`     | Table 3 — IBs / IBTs / EQCs per benchmark |
+//! | `fig5`       | Fig. 5 — execution overhead, no concurrent updates |
+//! | `fig6`       | Fig. 6 — overhead with 50 Hz update transactions |
+//! | `stm_table`  | §8.1 — normalized TxCheck time: MCFI/TML/RWL/Mutex |
+//! | `space`      | §8.1 — static code-size increase & table footprint |
+//! | `air`        | §8.3 — AIR metric across policies |
+//! | `gadgets`    | §8.3 — ROP gadget elimination |
+//! | `case_study` | §8.3 — the GnuPG/`execve` function-pointer hijack |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mcfi::{Arch, BuildOptions, Outcome, Policy, RunResult};
+use mcfi_workloads::Variant;
+
+/// The simulated clock frequency: "execution time" is cycles / CLOCK_HZ.
+///
+/// The interpreter retires a few million simulated cycles per host
+/// second, so the simulated core is declared to run at 50 MHz. At that
+/// clock a 50 Hz updater fires every 1M cycles — over a dozen times per
+/// benchmark — and each update transaction overlaps enough in-flight
+/// check transactions for the retry cost to be visible, as in the
+/// paper's Fig. 6 setup.
+pub const CLOCK_HZ: u64 = 50_000_000;
+
+/// The Fig. 6 update frequency (measured from Google V8 by the paper).
+pub const UPDATE_HZ: u64 = 50;
+
+/// One overhead measurement.
+#[derive(Clone, Debug)]
+pub struct Overhead {
+    /// Benchmark name.
+    pub bench: String,
+    /// Percent execution-time increase over the uninstrumented build.
+    pub percent: f64,
+}
+
+/// Measures Fig. 5 overhead for every benchmark on one architecture.
+pub fn fig5_overheads(arch: Arch) -> Vec<Overhead> {
+    mcfi_workloads::BENCHMARKS
+        .iter()
+        .map(|b| {
+            let s = mcfi::measure_overhead(b, arch)
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
+            Overhead { bench: (*b).to_string(), percent: s.percent() }
+        })
+        .collect()
+}
+
+/// Simulated cost of one update transaction's table rewrite: the Tary
+/// region (1 MiB = 262144 entries) streamed at 16 entries per cycle with
+/// `movnti`-style stores — the paper's parallel memory-copy mechanism.
+pub const UPDATE_COST_CYCLES: u64 = 262_144 / 16;
+
+/// Runs one benchmark under MCFI with update transactions scripted at
+/// 50 Hz of simulated time (the paper's Fig. 6 experiment: "at a fixed
+/// interval, it performs an update transaction that updates the version
+/// numbers of all IDs in the ID tables (but preserving the ECNs)").
+///
+/// Each update holds the mixed-version window open for
+/// [`UPDATE_COST_CYCLES`], during which in-flight check transactions
+/// retry — deterministically, so results are host-independent.
+///
+/// Returns `(result, updates_performed)`.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to build or load.
+pub fn run_with_updater(bench: &str, arch: Arch) -> (RunResult, u64) {
+    let opts = BuildOptions { policy: Policy::Mcfi, arch, verify: false };
+    let src = mcfi_workloads::source(bench, Variant::Fixed);
+    let mut system = mcfi::System::boot_source(&src, &opts)
+        .unwrap_or_else(|e| panic!("{bench}: {e}"));
+    let interval = CLOCK_HZ / UPDATE_HZ;
+    let result = system
+        .process()
+        .run_with_updates("__start", interval, UPDATE_COST_CYCLES)
+        .unwrap_or_else(|e| panic!("{bench}: {e}"));
+    let updates = result.updates;
+    (result, updates)
+}
+
+/// Fig. 6: overhead with the 50 Hz updater running.
+pub fn fig6_overheads(arch: Arch) -> Vec<(Overhead, u64)> {
+    mcfi_workloads::BENCHMARKS
+        .iter()
+        .map(|b| {
+            let plain = mcfi::run_workload(
+                b,
+                Variant::Fixed,
+                &BuildOptions { policy: Policy::NoCfi, arch, verify: false },
+            )
+            .unwrap_or_else(|e| panic!("{b}: {e}"));
+            let (hardened, updates) = run_with_updater(b, arch);
+            assert!(
+                matches!(hardened.outcome, Outcome::Exit { .. }),
+                "{b}: {:?}",
+                hardened.outcome
+            );
+            let percent =
+                100.0 * (hardened.cycles as f64 / plain.cycles as f64 - 1.0);
+            (Overhead { bench: (*b).to_string(), percent }, updates)
+        })
+        .collect()
+}
+
+/// Geometric-mean-free average (the paper reports arithmetic averages).
+pub fn average(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Renders a simple ASCII bar for figure-style output.
+pub fn bar(percent: f64, scale: f64) -> String {
+    let n = ((percent * scale).round().max(0.0)) as usize;
+    "#".repeat(n.min(70))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_and_bar_behave() {
+        assert_eq!(average([2.0, 4.0].into_iter()), 3.0);
+        assert_eq!(average(std::iter::empty()), 0.0);
+        assert_eq!(bar(5.0, 2.0), "##########");
+        assert_eq!(bar(-1.0, 2.0), "");
+    }
+
+    #[test]
+    fn updater_harness_runs_one_small_benchmark() {
+        let (result, _updates) = run_with_updater("lbm", Arch::X86_64);
+        assert!(matches!(result.outcome, Outcome::Exit { .. }), "{:?}", result.outcome);
+    }
+}

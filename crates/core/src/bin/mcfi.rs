@@ -1,0 +1,215 @@
+//! `mcfi` — command-line driver for the MCFI toolchain.
+//!
+//! ```text
+//! mcfi run <file.mc> [--nocfi] [--x86-32]     compile, verify, load, run
+//! mcfi build <file.mc> -o <file.mcfi>         compile + verify to an object
+//! mcfi verify <file.mcfi>                     verify an object file
+//! mcfi disasm <file.mcfi>                     disassemble an object file
+//! mcfi policy <file.mc>                       show the generated CFG policy
+//! mcfi analyze <file.mc>                      run the C1/C2 analyzer
+//! ```
+
+use std::process::ExitCode;
+
+use mcfi::{compile_module, Arch, BuildOptions, Module, Outcome, Policy, System};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "run" => cmd_run(rest),
+        "build" => cmd_build(rest),
+        "verify" => cmd_verify(rest),
+        "disasm" => cmd_disasm(rest),
+        "policy" => cmd_policy(rest),
+        "analyze" => cmd_analyze(rest),
+        _ => {
+            eprintln!("unknown command `{cmd}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mcfi run <file.mc> [--nocfi] [--x86-32]
+  mcfi build <file.mc> -o <file.mcfi> [--nocfi] [--x86-32]
+  mcfi verify <file.mcfi>
+  mcfi disasm <file.mcfi>
+  mcfi policy <file.mc>
+  mcfi analyze <file.mc>";
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn build_opts(rest: &[String]) -> BuildOptions {
+    BuildOptions {
+        policy: if rest.iter().any(|a| a == "--nocfi") { Policy::NoCfi } else { Policy::Mcfi },
+        arch: if rest.iter().any(|a| a == "--x86-32") { Arch::X86_32 } else { Arch::X86_64 },
+        verify: true,
+    }
+}
+
+fn source_arg(rest: &[String]) -> Result<(String, String), AnyError> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing input file")?;
+    Ok((path.clone(), std::fs::read_to_string(path)?))
+}
+
+fn cmd_run(rest: &[String]) -> Result<ExitCode, AnyError> {
+    let (path, src) = source_arg(rest)?;
+    let opts = build_opts(rest);
+    let mut system = System::boot_source(&src, &opts)?;
+    let r = system.run()?;
+    print!("{}", r.stdout);
+    eprintln!(
+        "[mcfi] {path}: {:?} — {} steps, {} cycles, {} checks",
+        r.outcome, r.steps, r.cycles, r.checks
+    );
+    match r.outcome {
+        Outcome::Exit { code } => Ok(ExitCode::from((code & 0xff) as u8)),
+        _ => Ok(ExitCode::FAILURE),
+    }
+}
+
+fn cmd_build(rest: &[String]) -> Result<ExitCode, AnyError> {
+    let (path, src) = source_arg(rest)?;
+    let out = rest
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| rest.get(i + 1))
+        .ok_or("missing -o <output>")?;
+    let opts = build_opts(rest);
+    let module = compile_module(&path, &src, &opts)?;
+    std::fs::write(out, module.to_bytes()?)?;
+    eprintln!(
+        "[mcfi] wrote {out}: {} code bytes, {} branches, {} functions",
+        module.code.len(),
+        module.aux.indirect_branches.len(),
+        module.functions.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load_object(rest: &[String]) -> Result<Module, AnyError> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing object file")?;
+    Ok(Module::from_bytes(&std::fs::read(path)?)?)
+}
+
+fn cmd_verify(rest: &[String]) -> Result<ExitCode, AnyError> {
+    let module = load_object(rest)?;
+    let report = mcfi_verifier::verify(&module);
+    eprintln!(
+        "[mcfi] {}: {} instructions, {} checks, {} stores",
+        module.name, report.instructions, report.checks, report.stores
+    );
+    if report.ok() {
+        eprintln!("[mcfi] verification PASSED");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &report.violations {
+            eprintln!("[mcfi] violation: {v}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_disasm(rest: &[String]) -> Result<ExitCode, AnyError> {
+    let module = load_object(rest)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // A closed pipe (e.g. `| head`) just ends the listing.
+    let mut emit = move |line: String| std::io::Write::write_all(&mut out, line.as_bytes()).is_ok();
+    let table_ranges: Vec<(usize, usize)> = module
+        .aux
+        .jump_tables
+        .iter()
+        .map(|t| (t.table_offset, t.table_offset + 8 * t.entries.len()))
+        .collect();
+    let entries: std::collections::BTreeMap<usize, &String> =
+        module.functions.iter().map(|(n, f)| (f.offset, n)).collect();
+    let mut off = 0;
+    while off < module.code.len() {
+        if let Some((_, end)) = table_ranges.iter().find(|(s, e)| off >= *s && off < *e) {
+            if !emit(format!("{off:#06x}:  <jump table data>\n")) {
+                return Ok(ExitCode::SUCCESS);
+            }
+            off = *end;
+            continue;
+        }
+        if let Some(name) = entries.get(&off) {
+            if !emit(format!("\n{name}:\n")) {
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+        match mcfi_machine::decode(&module.code, off) {
+            Ok((inst, len)) => {
+                if !emit(format!("{off:#06x}:  {inst}\n")) {
+                    return Ok(ExitCode::SUCCESS);
+                }
+                off += len;
+            }
+            Err(e) => {
+                if !emit(format!("{off:#06x}:  <undecodable: {e}>\n")) {
+                    return Ok(ExitCode::SUCCESS);
+                }
+                off += 1;
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_policy(rest: &[String]) -> Result<ExitCode, AnyError> {
+    let (_, src) = source_arg(rest)?;
+    let opts = build_opts(rest);
+    let mut system = System::boot_source(&src, &opts)?;
+    let policy = system.process().current_policy();
+    println!(
+        "indirect branches: {}, targets: {}, equivalence classes: {}",
+        policy.stats.ibs, policy.stats.ibts, policy.stats.eqcs
+    );
+    for b in &policy.bary {
+        println!(
+            "  module {:>2} slot {:>3} -> ecn {:>4} ({} targets)",
+            b.module,
+            b.local_slot,
+            b.ecn,
+            b.targets.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<ExitCode, AnyError> {
+    let (path, src) = source_arg(rest)?;
+    let tp = mcfi_minic::parse_and_check(&src)?;
+    let r = mcfi_analyzer::analyze(&tp, &src);
+    println!("{path}: SLOC {} VBE {}", r.sloc, r.vbe);
+    println!("  eliminated: UC {} DC {} MF {} SU {} NF {}", r.uc, r.dc, r.mf, r.su, r.nf);
+    println!("  remaining:  VAE {} (K1 {} [{} need fixes], K2 {})", r.vae, r.k1, r.k1_fixed, r.k2);
+    println!("  C2 (unannotated assembly): {}", r.c2);
+    for d in &r.details {
+        println!(
+            "  {}:{} in {}: {} -> {}  [{}]",
+            d.span.line, d.span.col, d.in_function, d.from, d.to, d.classification
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,160 @@
+//! Data layout for MiniC types on SimX64.
+//!
+//! Deliberately simple: every scalar except `char` occupies 8 bytes;
+//! `char` occupies 1; struct fields are laid out in order with natural
+//! alignment; unions take the size of their largest member.
+
+use mcfi_minic::types::{Type, TypeEnv};
+
+/// Size and alignment of a type, in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Layout {
+    /// Size in bytes.
+    pub size: usize,
+    /// Alignment in bytes.
+    pub align: usize,
+}
+
+/// Computes the layout of `ty`.
+///
+/// # Panics
+///
+/// Panics on a bare function type (functions are not values) or an
+/// unresolvable named type — both are rejected by the type checker first.
+pub fn layout_of(env: &TypeEnv, ty: &Type) -> Layout {
+    match env.resolve(ty) {
+        Type::Void => Layout { size: 0, align: 1 },
+        Type::Char => Layout { size: 1, align: 1 },
+        Type::Int | Type::Float | Type::Ptr(_) => Layout { size: 8, align: 8 },
+        Type::Array(inner, n) => {
+            let e = layout_of(env, inner);
+            Layout { size: e.size * n, align: e.align }
+        }
+        Type::Struct(name) => {
+            let def = env
+                .composite(name)
+                .unwrap_or_else(|| panic!("unknown struct `{name}` survived checking"));
+            let mut size = 0usize;
+            let mut align = 1usize;
+            for f in &def.fields {
+                let fl = layout_of(env, &f.ty);
+                size = round_up(size, fl.align) + fl.size;
+                align = align.max(fl.align);
+            }
+            Layout { size: round_up(size.max(1), align), align }
+        }
+        Type::Union(name) => {
+            let def = env
+                .composite(name)
+                .unwrap_or_else(|| panic!("unknown union `{name}` survived checking"));
+            let mut size = 1usize;
+            let mut align = 1usize;
+            for f in &def.fields {
+                let fl = layout_of(env, &f.ty);
+                size = size.max(fl.size);
+                align = align.max(fl.align);
+            }
+            Layout { size: round_up(size, align), align }
+        }
+        Type::Func(_) => panic!("function types have no data layout"),
+        Type::Named(n) => panic!("unresolved typedef `{n}` survived checking"),
+    }
+}
+
+/// Byte offset of field `field` within struct/union `tag`.
+///
+/// # Panics
+///
+/// Panics if the tag or field does not exist (rejected by the checker).
+pub fn field_offset(env: &TypeEnv, tag: &str, field: &str) -> usize {
+    let def = env
+        .composite(tag)
+        .unwrap_or_else(|| panic!("unknown composite `{tag}` survived checking"));
+    if def.is_union {
+        return 0;
+    }
+    let mut off = 0usize;
+    for f in &def.fields {
+        let fl = layout_of(env, &f.ty);
+        off = round_up(off, fl.align);
+        if f.name == field {
+            return off;
+        }
+        off += fl.size;
+    }
+    panic!("unknown field `{tag}.{field}` survived checking")
+}
+
+fn round_up(n: usize, align: usize) -> usize {
+    n.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfi_minic::types::{Composite, Field};
+
+    type StructSpec<'a> = (&'a str, &'a [(&'a str, Type)], bool);
+
+    fn env_with(structs: &[StructSpec<'_>]) -> TypeEnv {
+        let mut env = TypeEnv::new();
+        for (name, fields, is_union) in structs {
+            env.add_composite(Composite {
+                name: (*name).into(),
+                fields: fields
+                    .iter()
+                    .map(|(n, t)| Field { name: (*n).into(), ty: t.clone() })
+                    .collect(),
+                is_union: *is_union,
+            })
+            .unwrap();
+        }
+        env
+    }
+
+    #[test]
+    fn scalar_layouts() {
+        let env = TypeEnv::new();
+        assert_eq!(layout_of(&env, &Type::Int).size, 8);
+        assert_eq!(layout_of(&env, &Type::Char).size, 1);
+        assert_eq!(layout_of(&env, &Type::Float).size, 8);
+        assert_eq!(layout_of(&env, &Type::Int.ptr()).size, 8);
+        assert_eq!(layout_of(&env, &Type::Void).size, 0);
+    }
+
+    #[test]
+    fn arrays_multiply() {
+        let env = TypeEnv::new();
+        assert_eq!(layout_of(&env, &Type::Array(Box::new(Type::Int), 5)).size, 40);
+        assert_eq!(layout_of(&env, &Type::Array(Box::new(Type::Char), 5)).size, 5);
+    }
+
+    #[test]
+    fn struct_fields_are_aligned() {
+        let env = env_with(&[(
+            "s",
+            &[("c", Type::Char), ("x", Type::Int), ("d", Type::Char)],
+            false,
+        )]);
+        // c at 0, x aligned to 8, d at 16; total rounded to 24.
+        assert_eq!(field_offset(&env, "s", "c"), 0);
+        assert_eq!(field_offset(&env, "s", "x"), 8);
+        assert_eq!(field_offset(&env, "s", "d"), 16);
+        assert_eq!(layout_of(&env, &Type::Struct("s".into())).size, 24);
+    }
+
+    #[test]
+    fn unions_overlap() {
+        let env = env_with(&[("u", &[("x", Type::Int), ("c", Type::Char)], true)]);
+        assert_eq!(field_offset(&env, "u", "x"), 0);
+        assert_eq!(field_offset(&env, "u", "c"), 0);
+        assert_eq!(layout_of(&env, &Type::Union("u".into())).size, 8);
+    }
+
+    #[test]
+    fn typedefs_are_resolved() {
+        let mut env = TypeEnv::new();
+        env.add_typedef("word", Type::Int).unwrap();
+        assert_eq!(layout_of(&env, &Type::Named("word".into())).size, 8);
+    }
+}

@@ -1,0 +1,416 @@
+//! The MCFI compiler's intermediate representation.
+//!
+//! MiniC ASTs are lowered into a conventional basic-block IR: each
+//! function is a CFG of [`Block`]s holding three-address [`IrInst`]s over
+//! virtual registers, with addressable locals living in explicit stack
+//! slots. The IR keeps exactly the control-flow distinctions MCFI cares
+//! about:
+//!
+//! * direct vs. **indirect calls** (with the function-pointer signature),
+//! * **tail calls**, marked so the code generator can emit them as jumps —
+//!   the paper observes LLVM's tail-call optimization on x86-64 merges
+//!   more return classes and shrinks Table 3's EQC counts,
+//! * `switch`, kept as a [`Terminator::Switch`] and compiled to a
+//!   read-only jump table (the intraprocedural indirect jump of §6),
+//! * `setjmp`/`longjmp` intrinsics (unconventional control flow, §6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod lower;
+
+use std::fmt;
+
+use mcfi_minic::types::{FuncType, Type};
+
+/// A virtual register (expression temporary).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%t{}", self.0)
+    }
+}
+
+/// A basic-block identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An addressable stack slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LocalId(pub u32);
+
+/// An operand.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// A virtual register.
+    Reg(VReg),
+    /// An integer immediate.
+    ImmI(i64),
+    /// A float immediate (bit pattern carried as `f64`).
+    ImmF(f64),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Reg(r) => write!(f, "{r}"),
+            Value::ImmI(v) => write!(f, "${v}"),
+            Value::ImmF(v) => write!(f, "${v}f"),
+        }
+    }
+}
+
+/// Integer binary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum IrBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Float binary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum IrFBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Comparison operations (produce 0/1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Width {
+    /// One byte (`char`).
+    W8,
+    /// Eight bytes (everything else).
+    W64,
+}
+
+/// A non-terminator IR instruction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IrInst {
+    /// `dst = src`.
+    Copy {
+        /// Destination.
+        dst: VReg,
+        /// Source operand.
+        src: Value,
+    },
+    /// Integer `dst = a op b`.
+    Bin {
+        /// Operation.
+        op: IrBinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+    },
+    /// Float `dst = a op b`.
+    FBin {
+        /// Operation.
+        op: IrFBinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+    },
+    /// Integer comparison, `dst = (a op b) ? 1 : 0`.
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination.
+        dst: VReg,
+        /// Left.
+        a: Value,
+        /// Right.
+        b: Value,
+    },
+    /// Float comparison.
+    FCmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination.
+        dst: VReg,
+        /// Left.
+        a: Value,
+        /// Right.
+        b: Value,
+    },
+    /// Signed int → float.
+    CvtIF {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: Value,
+    },
+    /// Float → signed int (truncating).
+    CvtFI {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: Value,
+    },
+    /// `dst = mem[addr]`.
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Address operand.
+        addr: Value,
+        /// Access width.
+        width: Width,
+    },
+    /// `mem[addr] = src`.
+    Store {
+        /// Address operand.
+        addr: Value,
+        /// Stored value.
+        src: Value,
+        /// Access width.
+        width: Width,
+    },
+    /// `dst = &local`.
+    AddrLocal {
+        /// Destination.
+        dst: VReg,
+        /// The slot.
+        local: LocalId,
+    },
+    /// `dst = &global` (relocated).
+    AddrGlobal {
+        /// Destination.
+        dst: VReg,
+        /// Global name.
+        name: String,
+    },
+    /// `dst = &function` (relocated; an address-taken event).
+    AddrFunc {
+        /// Destination.
+        dst: VReg,
+        /// Function name.
+        name: String,
+    },
+    /// `dst = &string_literal[idx]` (in the data image).
+    AddrString {
+        /// Destination.
+        dst: VReg,
+        /// Index into the module string pool.
+        idx: u32,
+    },
+    /// Direct call.
+    CallDirect {
+        /// Receives the return value, if used.
+        dst: Option<VReg>,
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// Indirect call through a function pointer.
+    CallIndirect {
+        /// Receives the return value, if used.
+        dst: Option<VReg>,
+        /// Pointer operand.
+        fptr: Value,
+        /// Arguments.
+        args: Vec<Value>,
+        /// The pointer's signature (auxiliary type information).
+        sig: FuncType,
+    },
+    /// `dst = setjmp(env)`.
+    SetJmp {
+        /// Destination (0 on direct return, longjmp value otherwise).
+        dst: VReg,
+        /// Jump-buffer address.
+        env: Value,
+    },
+    /// `longjmp(env, val)` — does not return.
+    LongJmp {
+        /// Jump-buffer address.
+        env: Value,
+        /// Value delivered to `setjmp`.
+        val: Value,
+    },
+}
+
+/// A block terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch on `cond != 0`.
+    Br {
+        /// Condition operand.
+        cond: Value,
+        /// Taken when nonzero.
+        then_bb: BlockId,
+        /// Taken when zero.
+        else_bb: BlockId,
+    },
+    /// Multiway branch, compiled to a jump table.
+    Switch {
+        /// Scrutinee.
+        scrutinee: Value,
+        /// `(case value, block)` arms.
+        cases: Vec<(i64, BlockId)>,
+        /// Default block.
+        default: BlockId,
+    },
+    /// Return.
+    Ret(Option<Value>),
+    /// Direct tail call (emitted as a jump when the target allows it).
+    TailCallDirect {
+        /// Callee.
+        callee: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// Indirect tail call — the interprocedural indirect jump of §6.
+    TailCallIndirect {
+        /// Pointer operand.
+        fptr: Value,
+        /// Arguments.
+        args: Vec<Value>,
+        /// Pointer signature.
+        sig: FuncType,
+    },
+    /// Control cannot reach here (after `longjmp`).
+    Unreachable,
+}
+
+/// A basic block.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<IrInst>,
+    /// The terminator. `None` only transiently during construction.
+    pub term: Option<Terminator>,
+}
+
+/// An addressable local variable (parameters included).
+#[derive(Clone, PartialEq, Debug)]
+pub struct LocalSlot {
+    /// Source-level name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: usize,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A lowered function.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrFunction {
+    /// Name.
+    pub name: String,
+    /// Parameter count (the first `param_count` locals are parameters).
+    pub param_count: usize,
+    /// Signature.
+    pub sig: FuncType,
+    /// Whether the function is `static` (module-local).
+    pub is_static: bool,
+    /// Stack slots.
+    pub locals: Vec<LocalSlot>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of virtual registers used.
+    pub vreg_count: u32,
+}
+
+impl IrFunction {
+    /// Iterates `(BlockId, &Block)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+}
+
+/// A module-level global variable.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrGlobal {
+    /// Name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: usize,
+    /// Optional scalar initializer.
+    pub init: Option<GlobalInit>,
+}
+
+/// Supported global initializers.
+#[derive(Clone, PartialEq, Debug)]
+pub enum GlobalInit {
+    /// Integer value.
+    Int(i64),
+    /// Float bit pattern.
+    Float(f64),
+    /// Address of string-pool entry.
+    Str(u32),
+    /// Address of a function.
+    FuncAddr(String),
+}
+
+/// A lowered translation unit.
+#[derive(Clone, Debug)]
+pub struct IrModule {
+    /// Module name.
+    pub name: String,
+    /// Functions with bodies, in source order.
+    pub functions: Vec<IrFunction>,
+    /// Extern function declarations (imports), with signatures.
+    pub extern_funcs: Vec<(String, FuncType)>,
+    /// Globals.
+    pub globals: Vec<IrGlobal>,
+    /// String-literal pool.
+    pub strings: Vec<String>,
+    /// The module type environment (shipped as auxiliary information).
+    pub env: mcfi_minic::types::TypeEnv,
+    /// Functions whose address is taken in this module.
+    pub address_taken: std::collections::BTreeSet<String>,
+}
+
+pub use lower::{lower, LowerError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_stable() {
+        assert_eq!(VReg(3).to_string(), "%t3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(Value::ImmI(-2).to_string(), "$-2");
+        assert_eq!(Value::Reg(VReg(1)).to_string(), "%t1");
+    }
+}

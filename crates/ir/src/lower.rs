@@ -1,0 +1,1189 @@
+//! Lowering from checked MiniC ASTs to the basic-block IR.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mcfi_minic::ast::{self, BinOp, Expr, ExprKind, Stmt, UnOp};
+use mcfi_minic::types::{FuncType, Type};
+use mcfi_minic::TypedProgram;
+
+use crate::layout::{field_offset, layout_of};
+use crate::{
+    Block, BlockId, CmpOp, GlobalInit, IrBinOp, IrFBinOp, IrFunction, IrGlobal, IrInst,
+    IrModule, LocalId, LocalSlot, Terminator, Value, VReg, Width,
+};
+
+/// An error produced during lowering.
+#[derive(Clone, Debug)]
+pub struct LowerError {
+    /// Description.
+    pub message: String,
+}
+
+impl LowerError {
+    fn new(msg: impl Into<String>) -> Self {
+        LowerError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a checked program into an [`IrModule`].
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] for constructs outside MiniC's executable
+/// subset (struct-by-value data flow, non-constant global initializers).
+pub fn lower(tp: &TypedProgram, module_name: &str) -> Result<IrModule, LowerError> {
+    let mut strings = Vec::new();
+    let mut functions = Vec::new();
+    let mut extern_funcs = Vec::new();
+    let mut globals = Vec::new();
+
+    for item in &tp.program.items {
+        match item {
+            ast::Item::Function(f) => {
+                let sig = FuncType {
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                    ret: Box::new(f.ret.clone()),
+                    variadic: f.variadic,
+                };
+                if let Some(body) = &f.body {
+                    let mut fl = FuncLowerer::new(tp, f, &mut strings);
+                    fl.lower_body(body)?;
+                    functions.push(IrFunction {
+                        name: f.name.clone(),
+                        param_count: f.params.len(),
+                        sig,
+                        is_static: f.is_static,
+                        locals: fl.locals,
+                        blocks: fl.blocks,
+                        vreg_count: fl.next_vreg,
+                    });
+                } else if f.asm_body.is_some() {
+                    // Inline-assembly bodies are opaque to the compiler; they
+                    // are modeled as a function that returns zero so linking
+                    // and CFG generation can treat them like ordinary code.
+                    functions.push(asm_stub(f, sig));
+                } else {
+                    extern_funcs.push((f.name.clone(), sig));
+                }
+            }
+            ast::Item::Global(g) => {
+                let size = layout_of(&tp.env, &g.ty).size.max(1);
+                let init = match &g.init {
+                    None => None,
+                    Some(e) => Some(const_init(tp, e, &mut strings)?),
+                };
+                globals.push(IrGlobal { name: g.name.clone(), size, init });
+            }
+            _ => {}
+        }
+    }
+
+    Ok(IrModule {
+        name: module_name.to_string(),
+        functions,
+        extern_funcs,
+        globals,
+        strings,
+        env: tp.env.clone(),
+        address_taken: tp.address_taken.iter().cloned().collect::<BTreeSet<_>>(),
+    })
+}
+
+fn asm_stub(f: &ast::Function, sig: FuncType) -> IrFunction {
+    let block = Block { insts: Vec::new(), term: Some(Terminator::Ret(Some(Value::ImmI(0)))) };
+    IrFunction {
+        name: f.name.clone(),
+        param_count: f.params.len(),
+        sig,
+        is_static: f.is_static,
+        locals: f
+            .params
+            .iter()
+            .map(|p| LocalSlot { name: p.name.clone(), size: 8, ty: p.ty.clone() })
+            .collect(),
+        blocks: vec![block],
+        vreg_count: 0,
+    }
+}
+
+fn const_init(
+    tp: &TypedProgram,
+    e: &Expr,
+    strings: &mut Vec<String>,
+) -> Result<GlobalInit, LowerError> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Ok(GlobalInit::Int(*v)),
+        ExprKind::FloatLit(v) => Ok(GlobalInit::Float(*v)),
+        ExprKind::StrLit(s) => {
+            strings.push(s.clone());
+            Ok(GlobalInit::Str((strings.len() - 1) as u32))
+        }
+        ExprKind::Var(name) => {
+            if tp.func_sigs.contains_key(name) {
+                Ok(GlobalInit::FuncAddr(name.clone()))
+            } else {
+                Err(LowerError::new(format!(
+                    "global initializer must be constant, found variable `{name}`"
+                )))
+            }
+        }
+        ExprKind::Unary(UnOp::AddrOf, inner) => match &inner.kind {
+            ExprKind::Var(name) if tp.func_sigs.contains_key(name) => {
+                Ok(GlobalInit::FuncAddr(name.clone()))
+            }
+            _ => Err(LowerError::new("only function addresses may initialize globals")),
+        },
+        ExprKind::Unary(UnOp::Neg, inner) => match const_init(tp, inner, strings)? {
+            GlobalInit::Int(v) => Ok(GlobalInit::Int(-v)),
+            GlobalInit::Float(v) => Ok(GlobalInit::Float(-v)),
+            _ => Err(LowerError::new("cannot negate this initializer")),
+        },
+        _ => Err(LowerError::new("unsupported global initializer")),
+    }
+}
+
+struct LoopCtx {
+    break_to: BlockId,
+    continue_to: Option<BlockId>,
+}
+
+struct FuncLowerer<'a> {
+    tp: &'a TypedProgram,
+    strings: &'a mut Vec<String>,
+    locals: Vec<LocalSlot>,
+    scopes: Vec<Vec<(String, LocalId)>>,
+    blocks: Vec<Block>,
+    current: BlockId,
+    next_vreg: u32,
+    loops: Vec<LoopCtx>,
+    ret_ty: Type,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(tp: &'a TypedProgram, f: &ast::Function, strings: &'a mut Vec<String>) -> Self {
+        let mut fl = FuncLowerer {
+            tp,
+            strings,
+            locals: Vec::new(),
+            scopes: vec![Vec::new()],
+            blocks: vec![Block::default()],
+            current: BlockId(0),
+            next_vreg: 0,
+            loops: Vec::new(),
+            ret_ty: f.ret.clone(),
+        };
+        for p in &f.params {
+            fl.alloc_local(&p.name, &p.ty);
+        }
+        fl
+    }
+
+    fn alloc_local(&mut self, name: &str, ty: &Type) -> LocalId {
+        let size = layout_of(&self.tp.env, ty).size.max(1);
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(LocalSlot { name: name.to_string(), size, ty: ty.clone() });
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .push((name.to_string(), id));
+        id
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        for scope in self.scopes.iter().rev() {
+            for (n, id) in scope.iter().rev() {
+                if n == name {
+                    return Some(*id);
+                }
+            }
+        }
+        None
+    }
+
+    fn vreg(&mut self) -> VReg {
+        let r = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        r
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    fn emit(&mut self, inst: IrInst) {
+        let b = &mut self.blocks[self.current.0 as usize];
+        debug_assert!(b.term.is_none(), "emitting into a terminated block");
+        b.insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let b = &mut self.blocks[self.current.0 as usize];
+        if b.term.is_none() {
+            b.term = Some(term);
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.blocks[self.current.0 as usize].term.is_some()
+    }
+
+    fn switch_to(&mut self, bb: BlockId) {
+        self.current = bb;
+    }
+
+    fn ty_of(&self, e: &Expr) -> &Type {
+        self.tp.type_of(e.id)
+    }
+
+    fn resolved_ty(&self, e: &Expr) -> Type {
+        self.tp.env.resolve(self.ty_of(e)).clone()
+    }
+
+    fn width_of(&self, ty: &Type) -> Width {
+        match self.tp.env.resolve(ty) {
+            Type::Char => Width::W8,
+            _ => Width::W64,
+        }
+    }
+
+    fn is_float(&self, e: &Expr) -> bool {
+        matches!(self.resolved_ty(e), Type::Float)
+    }
+
+    // ---------------- body ----------------
+
+    fn lower_body(&mut self, body: &ast::Block) -> Result<(), LowerError> {
+        self.lower_block(body)?;
+        if !self.is_terminated() {
+            let term = if matches!(self.tp.env.resolve(&self.ret_ty), Type::Void) {
+                Terminator::Ret(None)
+            } else {
+                // Falling off the end of a non-void function: return 0 (C UB,
+                // pinned to a defined value here).
+                Terminator::Ret(Some(Value::ImmI(0)))
+            };
+            self.terminate(term);
+        }
+        // Terminate any unterminated leftover blocks (e.g. blocks after a
+        // return in every path) as unreachable.
+        for b in &mut self.blocks {
+            if b.term.is_none() {
+                b.term = Some(Terminator::Unreachable);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_block(&mut self, b: &ast::Block) -> Result<(), LowerError> {
+        self.scopes.push(Vec::new());
+        for s in &b.stmts {
+            if self.is_terminated() {
+                break; // dead code after return/break/continue
+            }
+            self.lower_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::Expr(e) => {
+                self.lower_expr_for_effect(e)?;
+                Ok(())
+            }
+            Stmt::Decl { name, ty, init } => {
+                let id = self.alloc_local(name, ty);
+                if let Some(e) = init {
+                    let v = self.lower_expr(e)?;
+                    let addr = self.vreg();
+                    self.emit(IrInst::AddrLocal { dst: addr, local: id });
+                    let width = self.width_of(ty);
+                    self.emit(IrInst::Store { addr: Value::Reg(addr), src: v, width });
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                let c = self.lower_expr(cond)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.terminate(Terminator::Br { cond: c, then_bb, else_bb });
+                self.switch_to(then_bb);
+                self.lower_block(then_blk)?;
+                self.terminate(Terminator::Jmp(join));
+                self.switch_to(else_bb);
+                if let Some(eb) = else_blk {
+                    self.lower_block(eb)?;
+                }
+                self.terminate(Terminator::Jmp(join));
+                self.switch_to(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let cond_bb = self.new_block();
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(Terminator::Jmp(cond_bb));
+                self.switch_to(cond_bb);
+                let c = self.lower_expr(cond)?;
+                self.terminate(Terminator::Br { cond: c, then_bb: body_bb, else_bb: exit_bb });
+                self.switch_to(body_bb);
+                self.loops.push(LoopCtx { break_to: exit_bb, continue_to: Some(cond_bb) });
+                self.lower_block(body)?;
+                self.loops.pop();
+                self.terminate(Terminator::Jmp(cond_bb));
+                self.switch_to(exit_bb);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(Vec::new());
+                if let Some(i) = init {
+                    self.lower_stmt(i)?;
+                }
+                let cond_bb = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(Terminator::Jmp(cond_bb));
+                self.switch_to(cond_bb);
+                match cond {
+                    Some(c) => {
+                        let v = self.lower_expr(c)?;
+                        self.terminate(Terminator::Br {
+                            cond: v,
+                            then_bb: body_bb,
+                            else_bb: exit_bb,
+                        });
+                    }
+                    None => self.terminate(Terminator::Jmp(body_bb)),
+                }
+                self.switch_to(body_bb);
+                // `continue` goes to the step block, not the condition.
+                self.loops.push(LoopCtx { break_to: exit_bb, continue_to: Some(step_bb) });
+                self.lower_block(body)?;
+                self.loops.pop();
+                self.terminate(Terminator::Jmp(step_bb));
+                self.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.lower_expr(st)?;
+                }
+                self.terminate(Terminator::Jmp(cond_bb));
+                self.switch_to(exit_bb);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(None) => {
+                self.terminate(Terminator::Ret(None));
+                Ok(())
+            }
+            Stmt::Return(Some(e)) => {
+                // Tail-call recognition: `return f(...)` / `return (*p)(...)`
+                // where the callee's return type matches ours.
+                if let ExprKind::Call(callee, args) = &e.kind {
+                    if self.tp.env.structurally_equal(self.ty_of(e), &self.ret_ty) {
+                        let mut vals = Vec::with_capacity(args.len());
+                        for a in args {
+                            vals.push(self.lower_expr(a)?);
+                        }
+                        if let Some(name) = self.direct_callee(callee) {
+                            self.terminate(Terminator::TailCallDirect {
+                                callee: name,
+                                args: vals,
+                            });
+                            return Ok(());
+                        }
+                        let sig = self
+                            .ty_of(callee)
+                            .func_sig()
+                            .cloned()
+                            .ok_or_else(|| LowerError::new("indirect callee lost its type"))?;
+                        let fptr = self.lower_expr(callee)?;
+                        self.terminate(Terminator::TailCallIndirect { fptr, args: vals, sig });
+                        return Ok(());
+                    }
+                }
+                let v = self.lower_expr(e)?;
+                self.terminate(Terminator::Ret(Some(v)));
+                Ok(())
+            }
+            Stmt::Break => {
+                let target = self
+                    .loops
+                    .last()
+                    .map(|l| l.break_to)
+                    .ok_or_else(|| LowerError::new("`break` outside loop or switch"))?;
+                self.terminate(Terminator::Jmp(target));
+                Ok(())
+            }
+            Stmt::Continue => {
+                let target = self
+                    .loops
+                    .iter()
+                    .rev()
+                    .find_map(|l| l.continue_to)
+                    .ok_or_else(|| LowerError::new("`continue` outside loop"))?;
+                self.terminate(Terminator::Jmp(target));
+                Ok(())
+            }
+            Stmt::Switch { scrutinee, cases, default } => {
+                let v = self.lower_expr(scrutinee)?;
+                let exit_bb = self.new_block();
+                let mut arms = Vec::with_capacity(cases.len());
+                for (val, _) in cases {
+                    arms.push((*val, self.new_block()));
+                }
+                let default_bb = if default.is_some() { self.new_block() } else { exit_bb };
+                self.terminate(Terminator::Switch {
+                    scrutinee: v,
+                    cases: arms.clone(),
+                    default: default_bb,
+                });
+                self.loops.push(LoopCtx { break_to: exit_bb, continue_to: None });
+                for ((_, body), (_, bb)) in cases.iter().zip(&arms) {
+                    self.switch_to(*bb);
+                    self.lower_block(body)?;
+                    self.terminate(Terminator::Jmp(exit_bb));
+                }
+                if let Some(d) = default {
+                    self.switch_to(default_bb);
+                    self.lower_block(d)?;
+                    self.terminate(Terminator::Jmp(exit_bb));
+                }
+                self.loops.pop();
+                self.switch_to(exit_bb);
+                Ok(())
+            }
+            Stmt::Block(b) => self.lower_block(b),
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    /// If `callee` names a function directly (not shadowed), returns it.
+    fn direct_callee(&self, callee: &Expr) -> Option<String> {
+        match &callee.kind {
+            ExprKind::Var(name)
+                if self.lookup_local(name).is_none()
+                    && !self.tp.program.globals().any(|g| g.name == *name)
+                    && self.tp.func_sigs.contains_key(name) =>
+            {
+                Some(name.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn lower_expr_for_effect(&mut self, e: &Expr) -> Result<(), LowerError> {
+        match &e.kind {
+            ExprKind::Call(callee, args) => {
+                self.lower_call(e, callee, args, false)?;
+                Ok(())
+            }
+            ExprKind::LongJmp(_, _) => {
+                self.lower_expr(e)?;
+                Ok(())
+            }
+            _ => {
+                self.lower_expr(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<Value, LowerError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(Value::ImmI(*v)),
+            ExprKind::FloatLit(v) => Ok(Value::ImmF(*v)),
+            ExprKind::StrLit(s) => {
+                self.strings.push(s.clone());
+                let idx = (self.strings.len() - 1) as u32;
+                let dst = self.vreg();
+                self.emit(IrInst::AddrString { dst, idx });
+                Ok(Value::Reg(dst))
+            }
+            ExprKind::Var(name) => {
+                if self.lookup_local(name).is_none()
+                    && !self.tp.program.globals().any(|g| g.name == *name)
+                    && self.tp.func_sigs.contains_key(name)
+                {
+                    // Function name decays to its address.
+                    let dst = self.vreg();
+                    self.emit(IrInst::AddrFunc { dst, name: name.clone() });
+                    return Ok(Value::Reg(dst));
+                }
+                self.load_lvalue(e)
+            }
+            ExprKind::Unary(UnOp::AddrOf, inner) => {
+                if let ExprKind::Var(name) = &inner.kind {
+                    if self.lookup_local(name).is_none()
+                        && !self.tp.program.globals().any(|g| g.name == *name)
+                        && self.tp.func_sigs.contains_key(name)
+                    {
+                        let dst = self.vreg();
+                        self.emit(IrInst::AddrFunc { dst, name: name.clone() });
+                        return Ok(Value::Reg(dst));
+                    }
+                }
+                self.lower_lvalue(inner)
+            }
+            ExprKind::Unary(op, inner) => self.lower_unary(e, *op, inner),
+            ExprKind::Binary(op, a, b) => self.lower_binary(e, *op, a, b),
+            ExprKind::Assign(lhs, rhs) => {
+                let v = self.lower_expr(rhs)?;
+                let addr = self.lower_lvalue(lhs)?;
+                let width = self.width_of(self.tp.type_of(lhs.id));
+                self.emit(IrInst::Store { addr, src: v, width });
+                Ok(v)
+            }
+            ExprKind::Call(callee, args) => {
+                let dst = self.lower_call(e, callee, args, true)?;
+                Ok(dst.map(Value::Reg).unwrap_or(Value::ImmI(0)))
+            }
+            ExprKind::Cast(to, inner) => self.lower_cast(to, inner),
+            ExprKind::Field(..) | ExprKind::Arrow(..) | ExprKind::Index(..) => {
+                self.load_lvalue(e)
+            }
+            ExprKind::SizeOf(ty) => {
+                Ok(Value::ImmI(layout_of(&self.tp.env, ty).size as i64))
+            }
+            ExprKind::SetJmp(env) => {
+                let envv = self.lower_expr(env)?;
+                let dst = self.vreg();
+                self.emit(IrInst::SetJmp { dst, env: envv });
+                Ok(Value::Reg(dst))
+            }
+            ExprKind::LongJmp(env, val) => {
+                let envv = self.lower_expr(env)?;
+                let v = self.lower_expr(val)?;
+                self.emit(IrInst::LongJmp { env: envv, val: v });
+                // Control does not continue, but give the expression a value
+                // and seal the block.
+                let next = self.new_block();
+                self.terminate(Terminator::Unreachable);
+                self.switch_to(next);
+                Ok(Value::ImmI(0))
+            }
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        _e: &Expr,
+        callee: &Expr,
+        args: &[Expr],
+        want_value: bool,
+    ) -> Result<Option<VReg>, LowerError> {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            let mut v = self.lower_expr(a)?;
+            // Promote float-typed int immediates and int values passed to
+            // float params would need signature info; MiniC checker already
+            // restricted implicit conversions to arithmetic, so convert when
+            // the static arg type is float but value came from int literal.
+            if self.is_float(a) {
+                if let Value::ImmI(i) = v {
+                    v = Value::ImmF(i as f64);
+                }
+            }
+            vals.push(v);
+        }
+        let dst = if want_value { Some(self.vreg()) } else { None };
+        if let Some(name) = self.direct_callee(callee) {
+            self.emit(IrInst::CallDirect { dst, callee: name, args: vals });
+        } else {
+            let sig = self
+                .ty_of(callee)
+                .func_sig()
+                .cloned()
+                .ok_or_else(|| LowerError::new("indirect callee lost its type"))?;
+            let fptr = self.lower_expr(callee)?;
+            self.emit(IrInst::CallIndirect { dst, fptr, args: vals, sig });
+        }
+        Ok(dst)
+    }
+
+    fn lower_unary(&mut self, e: &Expr, op: UnOp, inner: &Expr) -> Result<Value, LowerError> {
+        match op {
+            UnOp::Neg => {
+                let v = self.lower_expr(inner)?;
+                let dst = self.vreg();
+                if self.is_float(e) {
+                    self.emit(IrInst::FBin {
+                        op: IrFBinOp::Sub,
+                        dst,
+                        a: Value::ImmF(0.0),
+                        b: v,
+                    });
+                } else {
+                    self.emit(IrInst::Bin { op: IrBinOp::Sub, dst, a: Value::ImmI(0), b: v });
+                }
+                Ok(Value::Reg(dst))
+            }
+            UnOp::Not => {
+                let v = self.lower_expr(inner)?;
+                let dst = self.vreg();
+                if self.is_float(inner) {
+                    self.emit(IrInst::FCmp { op: CmpOp::Eq, dst, a: v, b: Value::ImmF(0.0) });
+                } else {
+                    self.emit(IrInst::Cmp { op: CmpOp::Eq, dst, a: v, b: Value::ImmI(0) });
+                }
+                Ok(Value::Reg(dst))
+            }
+            UnOp::BitNot => {
+                let v = self.lower_expr(inner)?;
+                let dst = self.vreg();
+                self.emit(IrInst::Bin { op: IrBinOp::Xor, dst, a: v, b: Value::ImmI(-1) });
+                Ok(Value::Reg(dst))
+            }
+            UnOp::Deref => self.load_lvalue(e),
+            UnOp::AddrOf => unreachable!("handled in lower_expr"),
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        e: &Expr,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Value, LowerError> {
+        use BinOp::*;
+        match op {
+            LogAnd | LogOr => return self.lower_short_circuit(op, a, b),
+            _ => {}
+        }
+        let ta = self.resolved_ty(a);
+        let tb = self.resolved_ty(b);
+        let float = matches!(ta, Type::Float) || matches!(tb, Type::Float);
+        let mut va = self.lower_expr(a)?;
+        let mut vb = self.lower_expr(b)?;
+        if float {
+            va = self.promote_to_float(va, &ta);
+            vb = self.promote_to_float(vb, &tb);
+        }
+        let dst = self.vreg();
+        match op {
+            Add | Sub => {
+                if float {
+                    let fop = if op == Add { IrFBinOp::Add } else { IrFBinOp::Sub };
+                    self.emit(IrInst::FBin { op: fop, dst, a: va, b: vb });
+                    return Ok(Value::Reg(dst));
+                }
+                // Pointer arithmetic scaling.
+                let (va, vb) = match (&ta, &tb) {
+                    (Type::Ptr(p), t) if t.is_arith() => {
+                        let scaled = self.scale(vb, layout_of(&self.tp.env, p).size.max(1));
+                        (va, scaled)
+                    }
+                    (t, Type::Ptr(p)) if t.is_arith() && op == Add => {
+                        let scaled = self.scale(va, layout_of(&self.tp.env, p).size.max(1));
+                        (scaled, vb)
+                    }
+                    (Type::Ptr(p), Type::Ptr(_)) if op == Sub => {
+                        let diff = self.vreg();
+                        self.emit(IrInst::Bin { op: IrBinOp::Sub, dst: diff, a: va, b: vb });
+                        let size = layout_of(&self.tp.env, p).size.max(1);
+                        self.emit(IrInst::Bin {
+                            op: IrBinOp::Div,
+                            dst,
+                            a: Value::Reg(diff),
+                            b: Value::ImmI(size as i64),
+                        });
+                        return Ok(Value::Reg(dst));
+                    }
+                    _ => (va, vb),
+                };
+                let iop = if op == Add { IrBinOp::Add } else { IrBinOp::Sub };
+                self.emit(IrInst::Bin { op: iop, dst, a: va, b: vb });
+                Ok(Value::Reg(dst))
+            }
+            Mul | Div | Rem => {
+                if float {
+                    if op == Rem {
+                        return Err(LowerError::new("`%` is not defined on floats"));
+                    }
+                    let fop = if op == Mul { IrFBinOp::Mul } else { IrFBinOp::Div };
+                    self.emit(IrInst::FBin { op: fop, dst, a: va, b: vb });
+                } else {
+                    let iop = match op {
+                        Mul => IrBinOp::Mul,
+                        Div => IrBinOp::Div,
+                        _ => IrBinOp::Rem,
+                    };
+                    self.emit(IrInst::Bin { op: iop, dst, a: va, b: vb });
+                }
+                Ok(Value::Reg(dst))
+            }
+            BitAnd | BitOr | BitXor | Shl | Shr => {
+                let iop = match op {
+                    BitAnd => IrBinOp::And,
+                    BitOr => IrBinOp::Or,
+                    BitXor => IrBinOp::Xor,
+                    Shl => IrBinOp::Shl,
+                    _ => IrBinOp::Shr,
+                };
+                self.emit(IrInst::Bin { op: iop, dst, a: va, b: vb });
+                Ok(Value::Reg(dst))
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let cop = match op {
+                    Eq => CmpOp::Eq,
+                    Ne => CmpOp::Ne,
+                    Lt => CmpOp::Lt,
+                    Le => CmpOp::Le,
+                    Gt => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                if float {
+                    self.emit(IrInst::FCmp { op: cop, dst, a: va, b: vb });
+                } else {
+                    self.emit(IrInst::Cmp { op: cop, dst, a: va, b: vb });
+                }
+                Ok(Value::Reg(dst))
+            }
+            LogAnd | LogOr => unreachable!("handled above"),
+        }
+        .inspect(|_v| {
+            let _ = e;
+        })
+    }
+
+    fn lower_short_circuit(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Value, LowerError> {
+        // result local so both paths can write it
+        let slot = self.alloc_local("<sc>", &Type::Int);
+        let va = self.lower_expr(a)?;
+        let rhs_bb = self.new_block();
+        let short_bb = self.new_block();
+        let join = self.new_block();
+        let (then_bb, else_bb) = if op == BinOp::LogAnd {
+            (rhs_bb, short_bb)
+        } else {
+            (short_bb, rhs_bb)
+        };
+        self.terminate(Terminator::Br { cond: va, then_bb, else_bb });
+
+        // Short-circuit path: result is 0 for &&, 1 for ||.
+        self.switch_to(short_bb);
+        let addr = self.vreg();
+        self.emit(IrInst::AddrLocal { dst: addr, local: slot });
+        let short_val = if op == BinOp::LogAnd { 0 } else { 1 };
+        self.emit(IrInst::Store {
+            addr: Value::Reg(addr),
+            src: Value::ImmI(short_val),
+            width: Width::W64,
+        });
+        self.terminate(Terminator::Jmp(join));
+
+        // Evaluate RHS: result = (rhs != 0).
+        self.switch_to(rhs_bb);
+        let vb = self.lower_expr(b)?;
+        let norm = self.vreg();
+        self.emit(IrInst::Cmp { op: CmpOp::Ne, dst: norm, a: vb, b: Value::ImmI(0) });
+        let addr2 = self.vreg();
+        self.emit(IrInst::AddrLocal { dst: addr2, local: slot });
+        self.emit(IrInst::Store {
+            addr: Value::Reg(addr2),
+            src: Value::Reg(norm),
+            width: Width::W64,
+        });
+        self.terminate(Terminator::Jmp(join));
+
+        self.switch_to(join);
+        let addr3 = self.vreg();
+        self.emit(IrInst::AddrLocal { dst: addr3, local: slot });
+        let dst = self.vreg();
+        self.emit(IrInst::Load { dst, addr: Value::Reg(addr3), width: Width::W64 });
+        Ok(Value::Reg(dst))
+    }
+
+    fn promote_to_float(&mut self, v: Value, ty: &Type) -> Value {
+        match (v, ty) {
+            (Value::ImmI(i), t) if !matches!(t, Type::Float) => Value::ImmF(i as f64),
+            (Value::Reg(_), t) if !matches!(t, Type::Float) => {
+                let dst = self.vreg();
+                self.emit(IrInst::CvtIF { dst, src: v });
+                Value::Reg(dst)
+            }
+            _ => v,
+        }
+    }
+
+    fn scale(&mut self, v: Value, size: usize) -> Value {
+        if size == 1 {
+            return v;
+        }
+        match v {
+            Value::ImmI(i) => Value::ImmI(i * size as i64),
+            _ => {
+                let dst = self.vreg();
+                self.emit(IrInst::Bin {
+                    op: IrBinOp::Mul,
+                    dst,
+                    a: v,
+                    b: Value::ImmI(size as i64),
+                });
+                Value::Reg(dst)
+            }
+        }
+    }
+
+    fn lower_cast(&mut self, to: &Type, inner: &Expr) -> Result<Value, LowerError> {
+        let v = self.lower_expr(inner)?;
+        let from = self.resolved_ty(inner);
+        let to_r = self.tp.env.resolve(to).clone();
+        match (&from, &to_r) {
+            (Type::Float, t) if t.is_arith() && !matches!(t, Type::Float) => {
+                let dst = self.vreg();
+                self.emit(IrInst::CvtFI { dst, src: v });
+                Ok(Value::Reg(dst))
+            }
+            (f, Type::Float) if f.is_arith() && !matches!(f, Type::Float) => {
+                Ok(self.promote_to_float(v, &from))
+            }
+            (_, Type::Char) => {
+                // Truncate to a byte.
+                let dst = self.vreg();
+                self.emit(IrInst::Bin { op: IrBinOp::And, dst, a: v, b: Value::ImmI(0xff) });
+                Ok(Value::Reg(dst))
+            }
+            _ => Ok(v), // pointer/int reinterpretations are bit-identical
+        }
+    }
+
+    /// Loads an rvalue from an lvalue expression (with array decay).
+    fn load_lvalue(&mut self, e: &Expr) -> Result<Value, LowerError> {
+        let ty = self.resolved_ty(e);
+        if matches!(ty, Type::Array(..)) {
+            return self.lower_lvalue(e); // decay to the element address
+        }
+        if matches!(ty, Type::Struct(_) | Type::Union(_)) {
+            return Err(LowerError::new(
+                "struct values must be manipulated through pointers in MiniC",
+            ));
+        }
+        let addr = self.lower_lvalue(e)?;
+        let dst = self.vreg();
+        let width = self.width_of(&ty);
+        self.emit(IrInst::Load { dst, addr, width });
+        Ok(Value::Reg(dst))
+    }
+
+    /// Lowers an lvalue expression to its address.
+    fn lower_lvalue(&mut self, e: &Expr) -> Result<Value, LowerError> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                if let Some(local) = self.lookup_local(name) {
+                    let dst = self.vreg();
+                    self.emit(IrInst::AddrLocal { dst, local });
+                    return Ok(Value::Reg(dst));
+                }
+                if self.tp.program.globals().any(|g| g.name == *name) {
+                    let dst = self.vreg();
+                    self.emit(IrInst::AddrGlobal { dst, name: name.clone() });
+                    return Ok(Value::Reg(dst));
+                }
+                Err(LowerError::new(format!("`{name}` is not an lvalue")))
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => self.lower_expr(inner),
+            ExprKind::Index(base, idx) => {
+                let base_ty = self.resolved_ty(base);
+                let (base_addr, elem_ty) = match &base_ty {
+                    Type::Array(inner, _) => (self.lower_lvalue(base)?, (**inner).clone()),
+                    Type::Ptr(inner) => (self.lower_expr(base)?, (**inner).clone()),
+                    other => {
+                        return Err(LowerError::new(format!("cannot index type {other}")))
+                    }
+                };
+                let iv = self.lower_expr(idx)?;
+                let size = layout_of(&self.tp.env, &elem_ty).size.max(1);
+                let scaled = self.scale(iv, size);
+                let dst = self.vreg();
+                self.emit(IrInst::Bin { op: IrBinOp::Add, dst, a: base_addr, b: scaled });
+                Ok(Value::Reg(dst))
+            }
+            ExprKind::Field(base, fname) => {
+                let tag = self.composite_tag(base)?;
+                let off = field_offset(&self.tp.env, &tag, fname);
+                let addr = self.lower_lvalue(base)?;
+                let dst = self.vreg();
+                self.emit(IrInst::Bin {
+                    op: IrBinOp::Add,
+                    dst,
+                    a: addr,
+                    b: Value::ImmI(off as i64),
+                });
+                Ok(Value::Reg(dst))
+            }
+            ExprKind::Arrow(base, fname) => {
+                let bt = self.resolved_ty(base);
+                let Type::Ptr(inner) = bt else {
+                    return Err(LowerError::new("`->` on non-pointer"));
+                };
+                let tag = match self.tp.env.resolve(&inner) {
+                    Type::Struct(n) | Type::Union(n) => n.clone(),
+                    other => return Err(LowerError::new(format!("`->` into {other}"))),
+                };
+                let off = field_offset(&self.tp.env, &tag, fname);
+                let addr = self.lower_expr(base)?;
+                let dst = self.vreg();
+                self.emit(IrInst::Bin {
+                    op: IrBinOp::Add,
+                    dst,
+                    a: addr,
+                    b: Value::ImmI(off as i64),
+                });
+                Ok(Value::Reg(dst))
+            }
+            ExprKind::Cast(_, inner) => self.lower_lvalue(inner),
+            other => Err(LowerError::new(format!("expression is not an lvalue: {other:?}"))),
+        }
+    }
+
+    fn composite_tag(&self, base: &Expr) -> Result<String, LowerError> {
+        match self.resolved_ty(base) {
+            Type::Struct(n) | Type::Union(n) => Ok(n),
+            other => Err(LowerError::new(format!("field access into {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfi_minic::parse_and_check;
+
+    fn lowered(src: &str) -> IrModule {
+        let tp = parse_and_check(src).unwrap_or_else(|e| panic!("front end: {e}"));
+        lower(&tp, "test").unwrap_or_else(|e| panic!("lower: {e}\nsource:\n{src}"))
+    }
+
+    fn func<'m>(m: &'m IrModule, name: &str) -> &'m IrFunction {
+        m.functions.iter().find(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn lowers_arithmetic_function() {
+        let m = lowered("int f(int x) { return x * 2 + 1; }");
+        let f = func(&m, "f");
+        assert_eq!(f.param_count, 1);
+        assert!(matches!(
+            f.blocks[0].term,
+            Some(Terminator::Ret(Some(Value::Reg(_))))
+        ));
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let m = lowered("int f(int x) { if (x) { return 1; } return 2; }");
+        let f = func(&m, "f");
+        assert!(f.blocks.len() >= 4);
+        assert!(matches!(f.blocks[0].term, Some(Terminator::Br { .. })));
+    }
+
+    #[test]
+    fn while_loops_back() {
+        let m = lowered("int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }");
+        let f = func(&m, "f");
+        let has_br = f.blocks.iter().any(|b| matches!(b.term, Some(Terminator::Br { .. })));
+        assert!(has_br);
+    }
+
+    #[test]
+    fn switch_becomes_switch_terminator() {
+        let m = lowered(
+            "int f(int x) { switch (x) { case 0: return 1; case 5: return 2; default: return 3; } return 0; }",
+        );
+        let f = func(&m, "f");
+        let sw = f
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term {
+                Some(Terminator::Switch { cases, .. }) => Some(cases.clone()),
+                _ => None,
+            })
+            .expect("switch terminator");
+        assert_eq!(sw.len(), 2);
+    }
+
+    #[test]
+    fn direct_and_indirect_calls_are_distinguished() {
+        let m = lowered(
+            "int h(int x) { return x; }\n\
+             int g(int y) { int (*p)(int); p = &h; int a = h(y); return p(a); }",
+        );
+        let g = func(&m, "g");
+        let mut direct = 0;
+        let mut indirect = 0;
+        for b in &g.blocks {
+            for i in &b.insts {
+                match i {
+                    IrInst::CallDirect { .. } => direct += 1,
+                    IrInst::CallIndirect { .. } => indirect += 1,
+                    _ => {}
+                }
+            }
+            if let Some(Terminator::TailCallIndirect { .. }) = &b.term {
+                indirect += 1;
+            }
+        }
+        assert_eq!(direct, 1);
+        assert_eq!(indirect, 1);
+    }
+
+    #[test]
+    fn tail_calls_are_marked() {
+        let m = lowered("int h(int x) { return x; }\nint g(int y) { return h(y); }");
+        let g = func(&m, "g");
+        assert!(g
+            .blocks
+            .iter()
+            .any(|b| matches!(&b.term, Some(Terminator::TailCallDirect { callee, .. }) if callee == "h")));
+    }
+
+    #[test]
+    fn mismatched_return_type_is_not_a_tail_call() {
+        let m = lowered("float h(int x) { return 1.0; }\nint g(int y) { return (int)h(y); }");
+        let g = func(&m, "g");
+        assert!(!g
+            .blocks
+            .iter()
+            .any(|b| matches!(&b.term, Some(Terminator::TailCallDirect { .. }))));
+    }
+
+    #[test]
+    fn address_taken_functions_recorded() {
+        let m = lowered("int h(int x) { return x; }\nvoid g(void) { int (*p)(int); p = &h; }");
+        assert!(m.address_taken.contains("h"));
+    }
+
+    #[test]
+    fn string_literals_go_to_the_pool() {
+        let m = lowered("char* f(void) { return \"hello\"; }");
+        assert_eq!(m.strings, ["hello"]);
+    }
+
+    #[test]
+    fn globals_with_initializers() {
+        let m = lowered("int counter = 5;\nfloat rate = 2.5;\nchar* name = \"x\";");
+        assert_eq!(m.globals.len(), 3);
+        assert_eq!(m.globals[0].init, Some(GlobalInit::Int(5)));
+        assert_eq!(m.globals[1].init, Some(GlobalInit::Float(2.5)));
+        assert_eq!(m.globals[2].init, Some(GlobalInit::Str(0)));
+    }
+
+    #[test]
+    fn global_function_pointer_initializer() {
+        let m = lowered("int h(int x) { return x; }\nint (*handler)(int) = h;");
+        assert_eq!(m.globals[0].init, Some(GlobalInit::FuncAddr("h".into())));
+    }
+
+    #[test]
+    fn struct_field_accesses_use_offsets() {
+        let m = lowered(
+            "struct p { int x; int y; };\n\
+             int f(struct p* q) { return q->y; }",
+        );
+        let f = func(&m, "f");
+        let has_off8 = f.blocks.iter().any(|b| {
+            b.insts.iter().any(|i| {
+                matches!(i, IrInst::Bin { op: IrBinOp::Add, b: Value::ImmI(8), .. })
+            })
+        });
+        assert!(has_off8, "expected +8 offset for second field");
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let m = lowered("int f(int* p) { return *(p + 3); }");
+        let f = func(&m, "f");
+        let has_imm24 = f.blocks.iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, IrInst::Bin { a: _, b: Value::ImmI(24), .. }))
+        });
+        assert!(has_imm24, "expected index scaled by 8");
+    }
+
+    #[test]
+    fn char_accesses_are_byte_width() {
+        let m = lowered("char f(char* s) { return s[0]; }");
+        let f = func(&m, "f");
+        let has_w8 = f.blocks.iter().any(|b| {
+            b.insts.iter().any(|i| matches!(i, IrInst::Load { width: Width::W8, .. }))
+        });
+        assert!(has_w8);
+    }
+
+    #[test]
+    fn short_circuit_produces_branches() {
+        let m = lowered("int f(int a, int b) { return a && b; }");
+        let f = func(&m, "f");
+        assert!(f.blocks.len() >= 4);
+    }
+
+    #[test]
+    fn setjmp_longjmp_lower_to_intrinsics() {
+        let m = lowered(
+            "int run(int* env) { if (setjmp(env)) { return 1; } longjmp(env, 5); return 0; }",
+        );
+        let f = func(&m, "run");
+        let mut setjmps = 0;
+        let mut longjmps = 0;
+        for b in &f.blocks {
+            for i in &b.insts {
+                match i {
+                    IrInst::SetJmp { .. } => setjmps += 1,
+                    IrInst::LongJmp { .. } => longjmps += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!((setjmps, longjmps), (1, 1));
+    }
+
+    #[test]
+    fn extern_functions_are_imports() {
+        let m = lowered("int puts(char* s);\nvoid f(void) { puts(\"hi\"); }");
+        assert_eq!(m.extern_funcs.len(), 1);
+        assert_eq!(m.extern_funcs[0].0, "puts");
+    }
+
+    #[test]
+    fn asm_functions_get_stub_bodies() {
+        let m = lowered("__annotated void* cpy(void* d) __asm__(\"rep movsb\");");
+        assert_eq!(m.functions.len(), 1);
+        assert!(matches!(
+            m.functions[0].blocks[0].term,
+            Some(Terminator::Ret(Some(Value::ImmI(0))))
+        ));
+    }
+
+    #[test]
+    fn every_block_is_terminated() {
+        let m = lowered(
+            "int f(int x) { if (x) { return 1; } else { return 2; } }\n\
+             int g(int x) { while (x) { x = x - 1; if (x == 3) { break; } } return x; }",
+        );
+        for f in &m.functions {
+            for (i, b) in f.blocks.iter().enumerate() {
+                assert!(b.term.is_some(), "{}: bb{i} unterminated", f.name);
+            }
+        }
+    }
+}

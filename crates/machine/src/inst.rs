@@ -1,0 +1,438 @@
+//! The SimX64 instruction set.
+
+use core::fmt;
+
+use crate::reg::Reg;
+
+/// Condition codes for conditional jumps and `SetCc`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq = 0,
+    Ne = 1,
+    Lt = 2,
+    Le = 3,
+    Gt = 4,
+    Ge = 5,
+}
+
+impl Cond {
+    /// All condition codes, indexable by encoding.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// Decodes a condition byte.
+    pub fn from_byte(b: u8) -> Option<Cond> {
+        Cond::ALL.get(b as usize).copied()
+    }
+
+    /// The logical negation.
+    #[must_use]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "e",
+            Cond::Ne => "ne",
+            Cond::Lt => "l",
+            Cond::Le => "le",
+            Cond::Gt => "g",
+            Cond::Ge => "ge",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A SimX64 instruction.
+///
+/// Branch displacements (`rel`) are relative to the address of the *next*
+/// instruction, as on x86.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Inst {
+    /// `dst = imm` (64-bit immediate; also used for relocated addresses).
+    MovImm {
+        /// Destination.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = src`.
+    MovReg {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst = mem64[base + offset]`.
+    Load {
+        /// Destination.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// `mem64[base + offset] = src`.
+    Store {
+        /// Base address register (must be masked, see crate docs).
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+        /// Value.
+        src: Reg,
+    },
+    /// `dst = mem8[base + offset]` (zero-extended).
+    Load8 {
+        /// Destination.
+        dst: Reg,
+        /// Base.
+        base: Reg,
+        /// Offset.
+        offset: i32,
+    },
+    /// `mem8[base + offset] = low8(src)`.
+    Store8 {
+        /// Base (must be masked).
+        base: Reg,
+        /// Offset.
+        offset: i32,
+        /// Value.
+        src: Reg,
+    },
+    /// `dst = base + offset` (address arithmetic without memory access).
+    Lea {
+        /// Destination.
+        dst: Reg,
+        /// Base.
+        base: Reg,
+        /// Offset.
+        offset: i32,
+    },
+    /// Integer ALU: `dst = dst op src`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination / left operand.
+        dst: Reg,
+        /// Right operand.
+        src: Reg,
+    },
+    /// `dst = dst + imm` (32-bit immediate, sign-extended).
+    AddImm {
+        /// Destination.
+        dst: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `dst = dst & imm` (64-bit immediate) — the sandboxing mask.
+    AndImm {
+        /// Destination.
+        dst: Reg,
+        /// Mask.
+        imm: u64,
+    },
+    /// Compare 64-bit: sets flags from `a - b`.
+    Cmp {
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Compare low 16 bits (the version comparison `cmpw %di, %si`).
+    Cmp16 {
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Compare with immediate.
+    CmpImm {
+        /// Left.
+        a: Reg,
+        /// Immediate right operand.
+        imm: i32,
+    },
+    /// `flags = a & imm` (the validity test `testb $1, %sil`).
+    TestImm {
+        /// Operand.
+        a: Reg,
+        /// Mask.
+        imm: i32,
+    },
+    /// `dst = (flags satisfy cc) ? 1 : 0`.
+    SetCc {
+        /// Condition.
+        cc: Cond,
+        /// Destination.
+        dst: Reg,
+    },
+    /// Unconditional relative jump.
+    Jmp {
+        /// Displacement from the next instruction.
+        rel: i32,
+    },
+    /// Conditional relative jump.
+    Jcc {
+        /// Condition.
+        cc: Cond,
+        /// Displacement.
+        rel: i32,
+    },
+    /// Direct call: pushes the return address, jumps by `rel`.
+    Call {
+        /// Displacement.
+        rel: i32,
+    },
+    /// Indirect call through a register (checked by MCFI).
+    CallReg {
+        /// Target register.
+        reg: Reg,
+    },
+    /// Indirect jump through a register (checked by MCFI).
+    JmpReg {
+        /// Target register.
+        reg: Reg,
+    },
+    /// Indirect jump through a read-only jump table located at absolute
+    /// address `table`: `pc = mem64[table + index * 8]`. Used for
+    /// `switch`; verified statically, not checked at runtime (§6).
+    JmpTable {
+        /// Index register.
+        index: Reg,
+        /// Absolute table address (relocated by the loader).
+        table: u32,
+        /// Number of entries, for static verification.
+        len: u32,
+    },
+    /// Return: pops the return address and jumps to it. MCFI rewrites this
+    /// to a `Pop`/checked-`JmpReg` sequence, so instrumented code never
+    /// contains a raw `Ret`.
+    Ret,
+    /// Push a register onto the stack.
+    Push {
+        /// Source.
+        reg: Reg,
+    },
+    /// Pop from the stack into a register.
+    Pop {
+        /// Destination.
+        reg: Reg,
+    },
+    /// Zero the upper 32 bits (`movl %ecx, %ecx`) — confines an address to
+    /// the sandbox.
+    Trunc32 {
+        /// Register.
+        reg: Reg,
+    },
+    /// Load a 32-bit target ID from the Tary table region: the analogue of
+    /// `movl %gs:(%rcx), %esi`.
+    TaryLoad {
+        /// Destination (receives the raw ID word).
+        dst: Reg,
+        /// Register holding the prospective branch target address.
+        addr: Reg,
+    },
+    /// Load a 32-bit branch ID from a constant Bary slot: the analogue of
+    /// `movl %gs:ConstBaryIndex, %edi`. The slot index is patched by the
+    /// loader (§5.1).
+    BaryLoad {
+        /// Destination.
+        dst: Reg,
+        /// Constant Bary slot.
+        slot: u32,
+    },
+    /// Float ALU (registers hold f64 bit patterns).
+    FAlu {
+        /// Operation.
+        op: FaluOp,
+        /// Destination / left.
+        dst: Reg,
+        /// Right.
+        src: Reg,
+    },
+    /// Float compare: sets flags from the partial order.
+    FCmp {
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Convert signed integer to float bits.
+    CvtIF {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// Convert float bits to signed integer (truncating).
+    CvtFI {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// System call: number in `Rax`, arguments in the argument registers,
+    /// result in `Rax`. Dispatched to the trusted runtime (§7).
+    Syscall,
+    /// Halt: a CFI violation or explicit program stop.
+    Hlt,
+    /// No operation — inserted to 4-byte-align indirect-branch targets.
+    Nop,
+}
+
+/// Integer ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+    Rem = 4,
+    And = 5,
+    Or = 6,
+    Xor = 7,
+    Shl = 8,
+    Shr = 9,
+}
+
+impl AluOp {
+    /// All ALU operations, indexable by encoding.
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ];
+}
+
+/// Float ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FaluOp {
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+}
+
+impl FaluOp {
+    /// All float operations, indexable by encoding.
+    pub const ALL: [FaluOp; 4] = [FaluOp::Add, FaluOp::Sub, FaluOp::Mul, FaluOp::Div];
+}
+
+impl Inst {
+    /// Whether this instruction is an indirect branch that MCFI must
+    /// instrument (returns are rewritten before this question is asked).
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(self, Inst::CallReg { .. } | Inst::JmpReg { .. } | Inst::Ret)
+    }
+
+    /// Whether this instruction writes to data memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::Store8 { .. } | Inst::Push { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::MovImm { dst, imm } => write!(f, "mov {dst}, ${imm}"),
+            Inst::MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Load { dst, base, offset } => write!(f, "mov {dst}, [{base}{offset:+}]"),
+            Inst::Store { base, offset, src } => write!(f, "mov [{base}{offset:+}], {src}"),
+            Inst::Load8 { dst, base, offset } => write!(f, "movb {dst}, [{base}{offset:+}]"),
+            Inst::Store8 { base, offset, src } => write!(f, "movb [{base}{offset:+}], {src}"),
+            Inst::Lea { dst, base, offset } => write!(f, "lea {dst}, [{base}{offset:+}]"),
+            Inst::Alu { op, dst, src } => write!(f, "{op:?} {dst}, {src}"),
+            Inst::AddImm { dst, imm } => write!(f, "add {dst}, ${imm}"),
+            Inst::AndImm { dst, imm } => write!(f, "and {dst}, ${imm:#x}"),
+            Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::Cmp16 { a, b } => write!(f, "cmpw {a}, {b}"),
+            Inst::CmpImm { a, imm } => write!(f, "cmp {a}, ${imm}"),
+            Inst::TestImm { a, imm } => write!(f, "test {a}, ${imm}"),
+            Inst::SetCc { cc, dst } => write!(f, "set{cc} {dst}"),
+            Inst::Jmp { rel } => write!(f, "jmp {rel:+}"),
+            Inst::Jcc { cc, rel } => write!(f, "j{cc} {rel:+}"),
+            Inst::Call { rel } => write!(f, "call {rel:+}"),
+            Inst::CallReg { reg } => write!(f, "call *{reg}"),
+            Inst::JmpReg { reg } => write!(f, "jmp *{reg}"),
+            Inst::JmpTable { index, table, len } => {
+                write!(f, "jmp *[{table:#x} + {index}*8] (len {len})")
+            }
+            Inst::Ret => write!(f, "ret"),
+            Inst::Push { reg } => write!(f, "push {reg}"),
+            Inst::Pop { reg } => write!(f, "pop {reg}"),
+            Inst::Trunc32 { reg } => write!(f, "movl {reg}, {reg}"),
+            Inst::TaryLoad { dst, addr } => write!(f, "movl {dst}, %gs:({addr})"),
+            Inst::BaryLoad { dst, slot } => write!(f, "movl {dst}, %gs:bary[{slot}]"),
+            Inst::FAlu { op, dst, src } => write!(f, "f{op:?} {dst}, {src}"),
+            Inst::FCmp { a, b } => write!(f, "fcmp {a}, {b}"),
+            Inst::CvtIF { dst, src } => write!(f, "cvtsi2sd {dst}, {src}"),
+            Inst::CvtFI { dst, src } => write!(f, "cvttsd2si {dst}, {src}"),
+            Inst::Syscall => write!(f, "syscall"),
+            Inst::Hlt => write!(f, "hlt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn indirect_branch_classification() {
+        assert!(Inst::Ret.is_indirect_branch());
+        assert!(Inst::CallReg { reg: Reg::Rax }.is_indirect_branch());
+        assert!(Inst::JmpReg { reg: Reg::Rax }.is_indirect_branch());
+        assert!(!Inst::Jmp { rel: 0 }.is_indirect_branch());
+        assert!(!Inst::Call { rel: 0 }.is_indirect_branch());
+        // Jump-table jumps are statically verified, not runtime-checked.
+        assert!(!Inst::JmpTable { index: Reg::Rax, table: 0, len: 1 }.is_indirect_branch());
+    }
+
+    #[test]
+    fn store_classification_includes_push() {
+        assert!(Inst::Push { reg: Reg::Rax }.is_store());
+        assert!(Inst::Store { base: Reg::Rdx, offset: 0, src: Reg::Rax }.is_store());
+        assert!(!Inst::Load { dst: Reg::Rax, base: Reg::Rdx, offset: 0 }.is_store());
+    }
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let samples = [
+            Inst::MovImm { dst: Reg::Rax, imm: 1 },
+            Inst::Ret,
+            Inst::Syscall,
+            Inst::TaryLoad { dst: Reg::Rsi, addr: Reg::Rcx },
+            Inst::BaryLoad { dst: Reg::Rdi, slot: 7 },
+        ];
+        for s in samples {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

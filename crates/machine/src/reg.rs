@@ -1,0 +1,125 @@
+//! General-purpose registers of SimX64.
+
+use core::fmt;
+
+/// One of the sixteen general-purpose registers.
+///
+/// Conventions used by the MCFI code generator:
+///
+/// * `Rsp` — stack pointer; `Rbp` — frame pointer.
+/// * `Rcx`, `Rdi`, `Rsi` — **reserved scratch registers** for the inlined
+///   check-transaction sequence (the paper's backend pass that reserves
+///   TxCheck scratch registers); ordinary codegen never allocates them.
+/// * `R8`–`R13` — argument registers; `Rax` — return value.
+/// * `Rdx` — the masked-store address register.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax = 0,
+    Rbx = 1,
+    Rcx = 2,
+    Rdx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All registers, indexable by encoding.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rbx,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The registers used to pass the first six arguments.
+    pub const ARGS: [Reg; 6] = [Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13];
+
+    /// Decodes a 4-bit register number.
+    pub fn from_nibble(n: u8) -> Option<Reg> {
+        Reg::ALL.get((n & 0x0f) as usize).copied().filter(|_| n < 16)
+    }
+
+    /// The 4-bit encoding.
+    pub fn nibble(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this register is reserved for check-transaction scratch.
+    pub fn is_check_scratch(self) -> bool {
+        matches!(self, Reg::Rcx | Reg::Rdi | Reg::Rsi)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Reg::Rax => "rax",
+            Reg::Rbx => "rbx",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        };
+        write!(f, "%{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_round_trips() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_nibble(r.nibble()), Some(r));
+        }
+    }
+
+    #[test]
+    fn from_nibble_rejects_out_of_range() {
+        assert_eq!(Reg::from_nibble(16), None);
+        assert_eq!(Reg::from_nibble(255), None);
+    }
+
+    #[test]
+    fn scratch_registers_match_the_paper() {
+        // Fig. 4 uses %rcx, %edi, %esi.
+        assert!(Reg::Rcx.is_check_scratch());
+        assert!(Reg::Rdi.is_check_scratch());
+        assert!(Reg::Rsi.is_check_scratch());
+        assert!(!Reg::Rax.is_check_scratch());
+    }
+}

@@ -1,0 +1,430 @@
+//! Abstract syntax for MiniC.
+//!
+//! MiniC is the C subset this reproduction compiles: enough of C to express
+//! every control-flow construct MCFI's CFG generation must handle —
+//! function pointers, indirect calls, `switch` (compiled to jump tables),
+//! tail calls, variadic functions, `setjmp`/`longjmp` intrinsics, inline
+//! assembly (with type annotations), and the cast patterns the C1 analyzer
+//! classifies.
+
+use crate::types::Type;
+
+/// Unique identifier for an expression node, assigned by the parser.
+///
+/// Side tables produced by the type checker (expression types, cast
+/// records) are keyed by `NodeId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Source position (line, column) for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A whole translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// A function definition or declaration.
+    Function(Function),
+    /// A global variable.
+    Global(GlobalVar),
+    /// `typedef <type> <name>;`
+    TypeDef {
+        /// New name.
+        name: String,
+        /// Aliased type.
+        ty: Type,
+    },
+    /// A struct or union definition.
+    Composite(crate::types::Composite),
+    /// `__tag_assoc(AbstractStruct, tag_value, ConcreteStruct);` — declares
+    /// a fixed association between a type-tag value and a concrete struct,
+    /// used by the analyzer's safe-downcast (DC) elimination (paper §6).
+    TagAssoc {
+        /// The abstract struct tag.
+        abstract_struct: String,
+        /// The tag value.
+        tag_value: i64,
+        /// The concrete struct tag associated with that value.
+        concrete_struct: String,
+    },
+}
+
+/// A function definition or extern declaration.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// Accepts `...` after the fixed parameters.
+    pub variadic: bool,
+    /// Body; `None` for extern declarations (resolved at link time).
+    pub body: Option<Block>,
+    /// Inline-assembly body (`__asm__("...")`): a C2-condition violation
+    /// unless annotated.
+    pub asm_body: Option<String>,
+    /// `__annotate_type` was supplied for an assembly function, satisfying
+    /// condition C2's escape hatch.
+    pub asm_annotated: bool,
+    /// Marked `static` (module-local).
+    pub is_static: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug)]
+pub struct GlobalVar {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional constant initializer.
+    pub init: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A brace-delimited block of statements.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// A local declaration `ty name = init;`.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Else branch, if present.
+        else_blk: Option<Block>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; step) body`. Any of the three headers may be
+    /// absent; `continue` jumps to `step`.
+    For {
+        /// Initialization (a declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition (absent = always true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `switch (scrutinee) { case k: ... default: ... }` — compiled to a
+    /// read-only jump table, the paper's intraprocedural indirect jump.
+    Switch {
+        /// Value switched on.
+        scrutinee: Expr,
+        /// `case` arms: value and body.
+        cases: Vec<(i64, Block)>,
+        /// `default` arm.
+        default: Option<Block>,
+    },
+    /// A nested block.
+    Block(Block),
+}
+
+/// An expression with identity (for side tables) and location.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// Stable identifier.
+    pub id: NodeId,
+    /// Location.
+    pub span: Span,
+    /// Payload.
+    pub kind: ExprKind,
+}
+
+/// Expression payloads.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// String literal (decays to `char*`).
+    StrLit(String),
+    /// Variable or function reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs` (also models initialization-by-assignment).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Call. Direct if the callee is a `Var` naming a function; otherwise
+    /// an indirect call through a function pointer.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Explicit cast `(ty)expr`.
+    Cast(Type, Box<Expr>),
+    /// `expr.field`
+    Field(Box<Expr>, String),
+    /// `expr->field`
+    Arrow(Box<Expr>, String),
+    /// `expr[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `sizeof(ty)`
+    SizeOf(Type),
+    /// The `setjmp(env)` intrinsic (unconventional control flow, §6).
+    SetJmp(Box<Expr>),
+    /// The `longjmp(env, val)` intrinsic.
+    LongJmp(Box<Expr>, Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise not.
+    BitNot,
+    /// Pointer dereference.
+    Deref,
+    /// Address-of. Applied to a function name this is an address-taken
+    /// event, which CFG generation records.
+    AddrOf,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl Expr {
+    /// Walks this expression and all sub-expressions, pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::StrLit(_)
+            | ExprKind::Var(_)
+            | ExprKind::SizeOf(_) => {}
+            ExprKind::Unary(_, e) | ExprKind::Cast(_, e) | ExprKind::SetJmp(e) => e.walk(f),
+            ExprKind::Field(e, _) | ExprKind::Arrow(e, _) => e.walk(f),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Assign(a, b)
+            | ExprKind::Index(a, b)
+            | ExprKind::LongJmp(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            ExprKind::Call(callee, args) => {
+                callee.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+}
+
+impl Block {
+    /// Walks every expression in the block, pre-order.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        for stmt in &self.stmts {
+            stmt.walk_exprs(f);
+        }
+    }
+}
+
+impl Stmt {
+    /// Walks every expression in the statement, pre-order.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Stmt::Expr(e) => e.walk(f),
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    e.walk(f);
+                }
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                cond.walk(f);
+                then_blk.walk_exprs(f);
+                if let Some(b) = else_blk {
+                    b.walk_exprs(f);
+                }
+            }
+            Stmt::While { cond, body } => {
+                cond.walk(f);
+                body.walk_exprs(f);
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    i.walk_exprs(f);
+                }
+                if let Some(c) = cond {
+                    c.walk(f);
+                }
+                if let Some(st) = step {
+                    st.walk(f);
+                }
+                body.walk_exprs(f);
+            }
+            Stmt::Return(Some(e)) => e.walk(f),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            Stmt::Switch { scrutinee, cases, default } => {
+                scrutinee.walk(f);
+                for (_, b) in cases {
+                    b.walk_exprs(f);
+                }
+                if let Some(b) = default {
+                    b.walk_exprs(f);
+                }
+            }
+            Stmt::Block(b) => b.walk_exprs(f),
+        }
+    }
+}
+
+impl Program {
+    /// All function definitions/declarations.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.name == name)
+    }
+
+    /// All global variables.
+    pub fn globals(&self) -> impl Iterator<Item = &GlobalVar> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(id: u32, v: i64) -> Expr {
+        Expr { id: NodeId(id), span: Span::default(), kind: ExprKind::IntLit(v) }
+    }
+
+    #[test]
+    fn walk_visits_preorder() {
+        let e = Expr {
+            id: NodeId(0),
+            span: Span::default(),
+            kind: ExprKind::Binary(BinOp::Add, Box::new(lit(1, 1)), Box::new(lit(2, 2))),
+        };
+        let mut order = Vec::new();
+        e.walk(&mut |x| order.push(x.id.0));
+        assert_eq!(order, [0, 1, 2]);
+    }
+
+    #[test]
+    fn walk_covers_call_arguments() {
+        let callee = Expr {
+            id: NodeId(0),
+            span: Span::default(),
+            kind: ExprKind::Var("f".into()),
+        };
+        let call = Expr {
+            id: NodeId(3),
+            span: Span::default(),
+            kind: ExprKind::Call(Box::new(callee), vec![lit(1, 10), lit(2, 20)]),
+        };
+        let mut n = 0;
+        call.walk(&mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+}

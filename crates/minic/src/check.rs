@@ -1,0 +1,1076 @@
+//! The MiniC type checker.
+//!
+//! Besides rejecting ill-typed programs, the checker produces the side
+//! information every downstream MCFI phase consumes:
+//!
+//! * per-expression types (for IR lowering),
+//! * the set of **address-taken functions** and each function's signature
+//!   (the module's auxiliary type information, paper §6),
+//! * every **indirect call site** with the function-pointer type used,
+//! * every **cast** — explicit or implicit — that involves function-pointer
+//!   types, annotated with enough syntactic context for the C1 analyzer's
+//!   false-positive elimination (UC/DC/MF/SU/NF) and K1/K2 kinds.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use crate::ast::*;
+use crate::types::{FuncType, Type, TypeEnv};
+
+/// A type-checking error.
+#[derive(Clone, Debug)]
+pub struct CheckError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "type error at {}:{}: {}",
+            self.span.line, self.span.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Syntactic context of a recorded cast, for analyzer classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CastContext {
+    /// The operand is a call to `malloc`/`calloc`/`realloc`.
+    MallocResult,
+    /// The cast is the argument of a call to `free`.
+    FreeArg,
+    /// The operand is an integer literal (e.g. `NULL`).
+    LiteralSource,
+    /// The cast result is immediately used through `->`/`.` to access a
+    /// field that is not (and does not contain) a function pointer.
+    NonFpFieldAccess,
+    /// The cast is the right-hand side of an assignment/initialization of
+    /// a function pointer, and the source is `&f`/`f` for a function `f`.
+    FnAddrToFnPtr {
+        /// Whether the function's type structurally matches the pointer's.
+        compatible: bool,
+    },
+    /// None of the recognizable patterns.
+    Plain,
+}
+
+/// A cast involving (or between) types — recorded for every cast whose
+/// source or destination contains a function-pointer type.
+#[derive(Clone, Debug)]
+pub struct CastRecord {
+    /// The cast expression (or the assignment for implicit casts).
+    pub node: NodeId,
+    /// Location.
+    pub span: Span,
+    /// Source type.
+    pub from: Type,
+    /// Destination type.
+    pub to: Type,
+    /// Whether the cast was written explicitly.
+    pub explicit: bool,
+    /// Syntactic context.
+    pub context: CastContext,
+    /// Enclosing function, or `"<global>"`.
+    pub in_function: String,
+    /// If the cast source is the address of a named function, its name.
+    pub src_function: Option<String>,
+}
+
+/// An indirect call site.
+#[derive(Clone, Debug)]
+pub struct IndirectCallRecord {
+    /// The call expression.
+    pub node: NodeId,
+    /// Location.
+    pub span: Span,
+    /// Signature of the function pointer used.
+    pub sig: FuncType,
+    /// Enclosing function.
+    pub in_function: String,
+    /// Whether the call is in tail position (return call(..);).
+    pub tail: bool,
+}
+
+/// A direct call site.
+#[derive(Clone, Debug)]
+pub struct DirectCallRecord {
+    /// The call expression.
+    pub node: NodeId,
+    /// Callee name.
+    pub callee: String,
+    /// Enclosing function.
+    pub in_function: String,
+    /// Whether the call is in tail position.
+    pub tail: bool,
+}
+
+/// A `setjmp`/`longjmp` use site.
+#[derive(Clone, Debug)]
+pub struct JmpRecord {
+    /// The intrinsic expression.
+    pub node: NodeId,
+    /// Enclosing function.
+    pub in_function: String,
+    /// `true` for `setjmp`, `false` for `longjmp`.
+    pub is_setjmp: bool,
+}
+
+/// A fully checked program plus all recorded side information.
+#[derive(Clone, Debug)]
+pub struct TypedProgram {
+    /// The original AST.
+    pub program: Program,
+    /// Typedefs and composite definitions.
+    pub env: TypeEnv,
+    /// Type of every expression node.
+    pub expr_types: HashMap<NodeId, Type>,
+    /// Casts involving function-pointer types.
+    pub casts: Vec<CastRecord>,
+    /// Indirect call sites.
+    pub indirect_calls: Vec<IndirectCallRecord>,
+    /// Direct call sites.
+    pub direct_calls: Vec<DirectCallRecord>,
+    /// `setjmp`/`longjmp` sites.
+    pub jmp_records: Vec<JmpRecord>,
+    /// Functions whose address is taken anywhere in the module.
+    pub address_taken: BTreeSet<String>,
+    /// Signature of every declared function.
+    pub func_sigs: BTreeMap<String, FuncType>,
+    /// Declared tag associations (`__tag_assoc`), for the DC elimination.
+    pub tag_assocs: Vec<(String, i64, String)>,
+    /// Functions that carry inline assembly, and whether annotated (C2).
+    pub asm_functions: Vec<(String, bool)>,
+}
+
+impl TypedProgram {
+    /// The recorded type of an expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never typed (a checker bug).
+    pub fn type_of(&self, id: NodeId) -> &Type {
+        self.expr_types.get(&id).expect("expression was typed during checking")
+    }
+}
+
+/// Well-known allocator names (the MF elimination of paper §6).
+const MALLOC_LIKE: &[&str] = &["malloc", "calloc", "realloc"];
+
+/// Type-checks a parsed program.
+///
+/// # Errors
+///
+/// Returns the first type error found.
+pub fn check(program: Program) -> Result<TypedProgram, CheckError> {
+    let mut env = TypeEnv::new();
+    let mut func_sigs = BTreeMap::new();
+    let mut tag_assocs = Vec::new();
+    let mut asm_functions = Vec::new();
+    let mut globals: HashMap<String, Type> = HashMap::new();
+
+    // Pass 1: collect type definitions, signatures, globals.
+    for item in &program.items {
+        match item {
+            Item::TypeDef { name, ty } => {
+                env.add_typedef(name, ty.clone()).map_err(|e| CheckError {
+                    message: e.to_string(),
+                    span: Span::default(),
+                })?;
+            }
+            Item::Composite(c) => {
+                env.add_composite(c.clone()).map_err(|e| CheckError {
+                    message: e.to_string(),
+                    span: Span::default(),
+                })?;
+            }
+            Item::TagAssoc { abstract_struct, tag_value, concrete_struct } => {
+                tag_assocs.push((abstract_struct.clone(), *tag_value, concrete_struct.clone()));
+            }
+            Item::Function(f) => {
+                let sig = FuncType {
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                    ret: Box::new(f.ret.clone()),
+                    variadic: f.variadic,
+                };
+                func_sigs.insert(f.name.clone(), sig);
+                if let Some(asm) = &f.asm_body {
+                    let _ = asm;
+                    asm_functions.push((f.name.clone(), f.asm_annotated));
+                }
+            }
+            Item::Global(g) => {
+                globals.insert(g.name.clone(), g.ty.clone());
+            }
+        }
+    }
+
+    let mut cx = Checker {
+        env,
+        func_sigs,
+        globals,
+        expr_types: HashMap::new(),
+        casts: Vec::new(),
+        indirect_calls: Vec::new(),
+        direct_calls: Vec::new(),
+        jmp_records: Vec::new(),
+        address_taken: BTreeSet::new(),
+        scopes: Vec::new(),
+        current_fn: "<global>".to_string(),
+        current_ret: Type::Void,
+    };
+
+    // Pass 2: check global initializers and function bodies.
+    for item in &program.items {
+        match item {
+            Item::Global(g) => {
+                if let Some(init) = &g.init {
+                    let t = cx.expr(init)?;
+                    cx.coerce(init, &t, &g.ty, g.span)?;
+                }
+            }
+            Item::Function(f) => {
+                if let Some(body) = &f.body {
+                    cx.current_fn = f.name.clone();
+                    cx.current_ret = f.ret.clone();
+                    cx.scopes.push(
+                        f.params
+                            .iter()
+                            .map(|p| (p.name.clone(), p.ty.clone()))
+                            .collect(),
+                    );
+                    cx.block(body)?;
+                    cx.scopes.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    Ok(TypedProgram {
+        program,
+        env: cx.env,
+        expr_types: cx.expr_types,
+        casts: cx.casts,
+        indirect_calls: cx.indirect_calls,
+        direct_calls: cx.direct_calls,
+        jmp_records: cx.jmp_records,
+        address_taken: cx.address_taken,
+        func_sigs: cx.func_sigs,
+        tag_assocs,
+        asm_functions,
+    })
+}
+
+struct Checker {
+    env: TypeEnv,
+    func_sigs: BTreeMap<String, FuncType>,
+    globals: HashMap<String, Type>,
+    expr_types: HashMap<NodeId, Type>,
+    casts: Vec<CastRecord>,
+    indirect_calls: Vec<IndirectCallRecord>,
+    direct_calls: Vec<DirectCallRecord>,
+    jmp_records: Vec<JmpRecord>,
+    address_taken: BTreeSet<String>,
+    scopes: Vec<Vec<(String, Type)>>,
+    current_fn: String,
+    current_ret: Type,
+}
+
+impl Checker {
+    fn err<T>(&self, span: Span, msg: impl Into<String>) -> Result<T, CheckError> {
+        Err(CheckError { message: msg.into(), span })
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            for (n, t) in scope.iter().rev() {
+                if n == name {
+                    return Some(t.clone());
+                }
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.push((name.to_string(), ty));
+        }
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), CheckError> {
+        self.scopes.push(Vec::new());
+        let n = b.stmts.len();
+        for (i, s) in b.stmts.iter().enumerate() {
+            let is_last = i + 1 == n;
+            self.stmt(s, is_last)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, in_tail: bool) -> Result<(), CheckError> {
+        match s {
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+            }
+            Stmt::Decl { name, ty, init } => {
+                if let Some(e) = init {
+                    let t = self.expr(e)?;
+                    self.coerce(e, &t, ty, e.span)?;
+                }
+                self.declare(name, ty.clone());
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                self.scalar_cond(cond)?;
+                self.block(then_blk)?;
+                if let Some(b) = else_blk {
+                    self.block(b)?;
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.scalar_cond(cond)?;
+                self.block(body)?;
+            }
+            Stmt::For { init, cond, step, body } => {
+                // The init declaration scopes over cond/step/body.
+                self.scopes.push(Vec::new());
+                if let Some(i) = init {
+                    self.stmt(i, false)?;
+                }
+                if let Some(c) = cond {
+                    self.scalar_cond(c)?;
+                }
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.block(body)?;
+                self.scopes.pop();
+            }
+            Stmt::Return(Some(e)) => {
+                // `return f(...);` marks a tail call.
+                let t = self.expr_in_tail(e)?;
+                let ret = self.current_ret.clone();
+                self.coerce(e, &t, &ret, e.span)?;
+            }
+            Stmt::Return(None) => {
+                if !matches!(self.env.resolve(&self.current_ret), Type::Void) {
+                    return self.err(
+                        Span::default(),
+                        format!("`{}` must return a value", self.current_fn),
+                    );
+                }
+            }
+            Stmt::Break | Stmt::Continue => {}
+            Stmt::Switch { scrutinee, cases, default } => {
+                self.scalar_cond(scrutinee)?;
+                for (_, b) in cases {
+                    self.block(b)?;
+                }
+                if let Some(b) = default {
+                    self.block(b)?;
+                }
+            }
+            Stmt::Block(b) => self.block(b)?,
+        }
+        let _ = in_tail;
+        Ok(())
+    }
+
+    fn scalar_cond(&mut self, e: &Expr) -> Result<(), CheckError> {
+        let t = self.expr(e)?;
+        let r = self.env.resolve(&t).clone();
+        if r.is_arith() || r.is_ptr() {
+            Ok(())
+        } else {
+            self.err(e.span, format!("condition has non-scalar type {t}"))
+        }
+    }
+
+    /// Types an expression in tail position (direct child of `return`),
+    /// so calls there are flagged as tail calls.
+    fn expr_in_tail(&mut self, e: &Expr) -> Result<Type, CheckError> {
+        if let ExprKind::Call(_, _) = &e.kind {
+            let t = self.call_expr(e, true)?;
+            self.expr_types.insert(e.id, t.clone());
+            return Ok(t);
+        }
+        self.expr(e)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Type, CheckError> {
+        let t = self.expr_kind(e)?;
+        self.expr_types.insert(e.id, t.clone());
+        Ok(t)
+    }
+
+    fn expr_kind(&mut self, e: &Expr) -> Result<Type, CheckError> {
+        match &e.kind {
+            ExprKind::IntLit(_) => Ok(Type::Int),
+            ExprKind::FloatLit(_) => Ok(Type::Float),
+            ExprKind::StrLit(_) => Ok(Type::Char.ptr()),
+            ExprKind::Var(name) => {
+                if let Some(t) = self.lookup_var(name) {
+                    return Ok(t);
+                }
+                if let Some(sig) = self.func_sigs.get(name) {
+                    // A bare function name decays to a function pointer and
+                    // counts as taking the function's address.
+                    self.address_taken.insert(name.clone());
+                    return Ok(Type::Func(sig.clone()).ptr());
+                }
+                self.err(e.span, format!("unknown identifier `{name}`"))
+            }
+            ExprKind::Unary(op, inner) => self.unary(e, *op, inner),
+            ExprKind::Binary(op, a, b) => self.binary(e.span, *op, a, b),
+            ExprKind::Assign(lhs, rhs) => {
+                let lt = self.expr(lhs)?;
+                let rt = self.expr(rhs)?;
+                self.record_implicit_fnptr_flow(e, &rt, &lt, rhs);
+                self.coerce(rhs, &rt, &lt, e.span)?;
+                Ok(lt)
+            }
+            ExprKind::Call(_, _) => self.call_expr(e, false),
+            ExprKind::Cast(to, inner) => {
+                let from = self.expr(inner)?;
+                self.record_cast(e, &from, to, inner);
+                Ok(to.clone())
+            }
+            ExprKind::Field(base, fname) | ExprKind::Arrow(base, fname) => {
+                let bt = self.expr(base)?;
+                let resolved = self.env.resolve(&bt).clone();
+                let comp_name = match (&e.kind, &resolved) {
+                    (ExprKind::Field(..), Type::Struct(n) | Type::Union(n)) => n.clone(),
+                    (ExprKind::Arrow(..), Type::Ptr(inner)) => {
+                        match self.env.resolve(inner) {
+                            Type::Struct(n) | Type::Union(n) => n.clone(),
+                            other => {
+                                return self.err(
+                                    e.span,
+                                    format!("`->` applied to pointer to non-struct {other}"),
+                                )
+                            }
+                        }
+                    }
+                    _ => {
+                        return self.err(
+                            e.span,
+                            format!("field access on non-struct type {bt}"),
+                        )
+                    }
+                };
+                let def = match self.env.composite(&comp_name) {
+                    Some(d) => d.clone(),
+                    None => {
+                        return self.err(e.span, format!("unknown struct `{comp_name}`"))
+                    }
+                };
+                match def.fields.iter().find(|f| f.name == *fname) {
+                    Some(f) => {
+                        // NF elimination: a cast immediately followed by a
+                        // non-function-pointer field access.
+                        if let ExprKind::Cast(..) = &base.kind {
+                            if !self.env.contains_func_ptr(&f.ty) {
+                                self.mark_last_cast_context(base.id, CastContext::NonFpFieldAccess);
+                            }
+                        }
+                        Ok(f.ty.clone())
+                    }
+                    None => self.err(
+                        e.span,
+                        format!("struct `{comp_name}` has no field `{fname}`"),
+                    ),
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.expr(base)?;
+                let it = self.expr(idx)?;
+                if !self.env.resolve(&it).is_arith() {
+                    return self.err(idx.span, "array index must be arithmetic");
+                }
+                match self.env.resolve(&bt).clone() {
+                    Type::Ptr(inner) => Ok(*inner),
+                    Type::Array(inner, _) => Ok(*inner),
+                    other => self.err(e.span, format!("cannot index type {other}")),
+                }
+            }
+            ExprKind::SizeOf(_) => Ok(Type::Int),
+            ExprKind::SetJmp(env) => {
+                let t = self.expr(env)?;
+                if !self.env.resolve(&t).is_ptr() && !matches!(self.env.resolve(&t), Type::Array(..)) {
+                    return self.err(e.span, "setjmp requires a jump buffer pointer");
+                }
+                self.jmp_records.push(JmpRecord {
+                    node: e.id,
+                    in_function: self.current_fn.clone(),
+                    is_setjmp: true,
+                });
+                Ok(Type::Int)
+            }
+            ExprKind::LongJmp(env, val) => {
+                let t = self.expr(env)?;
+                if !self.env.resolve(&t).is_ptr() && !matches!(self.env.resolve(&t), Type::Array(..)) {
+                    return self.err(e.span, "longjmp requires a jump buffer pointer");
+                }
+                let vt = self.expr(val)?;
+                if !self.env.resolve(&vt).is_arith() {
+                    return self.err(val.span, "longjmp value must be arithmetic");
+                }
+                self.jmp_records.push(JmpRecord {
+                    node: e.id,
+                    in_function: self.current_fn.clone(),
+                    is_setjmp: false,
+                });
+                Ok(Type::Void)
+            }
+        }
+    }
+
+    fn unary(&mut self, e: &Expr, op: UnOp, inner: &Expr) -> Result<Type, CheckError> {
+        match op {
+            UnOp::Neg | UnOp::BitNot => {
+                let t = self.expr(inner)?;
+                if !self.env.resolve(&t).is_arith() {
+                    return self.err(e.span, format!("cannot negate type {t}"));
+                }
+                Ok(t)
+            }
+            UnOp::Not => {
+                let t = self.expr(inner)?;
+                let r = self.env.resolve(&t);
+                if !r.is_arith() && !r.is_ptr() {
+                    return self.err(e.span, format!("cannot apply `!` to type {t}"));
+                }
+                Ok(Type::Int)
+            }
+            UnOp::Deref => {
+                let t = self.expr(inner)?;
+                match self.env.resolve(&t).clone() {
+                    Type::Ptr(p) => Ok(*p),
+                    other => self.err(e.span, format!("cannot dereference type {other}")),
+                }
+            }
+            UnOp::AddrOf => {
+                // `&f` for a function name yields a function pointer and
+                // records the address-taken event.
+                if let ExprKind::Var(name) = &inner.kind {
+                    if self.lookup_var(name).is_none() {
+                        if let Some(sig) = self.func_sigs.get(name).cloned() {
+                            self.address_taken.insert(name.clone());
+                            let t = Type::Func(sig).ptr();
+                            self.expr_types.insert(inner.id, t.clone());
+                            return Ok(t);
+                        }
+                    }
+                }
+                let t = self.expr(inner)?;
+                Ok(t.ptr())
+            }
+        }
+    }
+
+    fn binary(&mut self, span: Span, op: BinOp, a: &Expr, b: &Expr) -> Result<Type, CheckError> {
+        let ta = self.expr(a)?;
+        let tb = self.expr(b)?;
+        let ra = self.env.resolve(&ta).clone();
+        let rb = self.env.resolve(&tb).clone();
+        use BinOp::*;
+        match op {
+            Add | Sub => {
+                // pointer arithmetic: ptr ± int
+                if ra.is_ptr() && rb.is_arith() {
+                    return Ok(ta);
+                }
+                if ra.is_arith() && rb.is_ptr() && op == Add {
+                    return Ok(tb);
+                }
+                if ra.is_ptr() && rb.is_ptr() && op == Sub {
+                    return Ok(Type::Int);
+                }
+                if ra.is_arith() && rb.is_arith() {
+                    return Ok(self.arith_join(&ra, &rb));
+                }
+                self.err(span, format!("invalid operands {ta} and {tb}"))
+            }
+            Mul | Div | Rem => {
+                if ra.is_arith() && rb.is_arith() {
+                    Ok(self.arith_join(&ra, &rb))
+                } else {
+                    self.err(span, format!("invalid operands {ta} and {tb}"))
+                }
+            }
+            BitAnd | BitOr | BitXor | Shl | Shr => {
+                if matches!(ra, Type::Int | Type::Char) && matches!(rb, Type::Int | Type::Char) {
+                    Ok(Type::Int)
+                } else {
+                    self.err(span, format!("bitwise operands must be integers, got {ta}, {tb}"))
+                }
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let compatible = (ra.is_arith() && rb.is_arith())
+                    || (ra.is_ptr() && rb.is_ptr())
+                    || (ra.is_ptr() && matches!(&b.kind, ExprKind::IntLit(0)))
+                    || (rb.is_ptr() && matches!(&a.kind, ExprKind::IntLit(0)));
+                if compatible {
+                    Ok(Type::Int)
+                } else {
+                    self.err(span, format!("cannot compare {ta} with {tb}"))
+                }
+            }
+            LogAnd | LogOr => {
+                let ok = |t: &Type| t.is_arith() || t.is_ptr();
+                if ok(&ra) && ok(&rb) {
+                    Ok(Type::Int)
+                } else {
+                    self.err(span, format!("logical operands must be scalar, got {ta}, {tb}"))
+                }
+            }
+        }
+    }
+
+    fn arith_join(&self, a: &Type, b: &Type) -> Type {
+        if matches!(a, Type::Float) || matches!(b, Type::Float) {
+            Type::Float
+        } else {
+            Type::Int
+        }
+    }
+
+    fn call_expr(&mut self, e: &Expr, tail: bool) -> Result<Type, CheckError> {
+        let ExprKind::Call(callee, args) = &e.kind else {
+            unreachable!("call_expr invoked on non-call");
+        };
+        // Direct call: callee is a bare function name not shadowed by a var.
+        if let ExprKind::Var(name) = &callee.kind {
+            if self.lookup_var(name).is_none() {
+                if let Some(sig) = self.func_sigs.get(name).cloned() {
+                    self.expr_types
+                        .insert(callee.id, Type::Func(sig.clone()).ptr());
+                    self.check_args(e.span, name, &sig, args)?;
+                    self.direct_calls.push(DirectCallRecord {
+                        node: e.id,
+                        callee: name.clone(),
+                        in_function: self.current_fn.clone(),
+                        tail,
+                    });
+                    return Ok((*sig.ret).clone());
+                }
+                return self.err(e.span, format!("call to undeclared function `{name}`"));
+            }
+        }
+        // Indirect call through a function pointer.
+        let ct = self.expr(callee)?;
+        let resolved = self.env.resolve(&ct).clone();
+        let sig = match &resolved {
+            Type::Ptr(inner) => match self.env.resolve(inner) {
+                Type::Func(sig) => sig.clone(),
+                other => {
+                    return self.err(
+                        e.span,
+                        format!("called object is {other}, not a function pointer"),
+                    )
+                }
+            },
+            other => {
+                return self.err(
+                    e.span,
+                    format!("called object has non-pointer type {other}"),
+                )
+            }
+        };
+        self.check_args(e.span, "<indirect>", &sig, args)?;
+        self.indirect_calls.push(IndirectCallRecord {
+            node: e.id,
+            span: e.span,
+            sig: sig.clone(),
+            in_function: self.current_fn.clone(),
+            tail,
+        });
+        Ok((*sig.ret).clone())
+    }
+
+    fn check_args(
+        &mut self,
+        span: Span,
+        name: &str,
+        sig: &FuncType,
+        args: &[Expr],
+    ) -> Result<(), CheckError> {
+        if args.len() < sig.params.len() || (!sig.variadic && args.len() > sig.params.len()) {
+            return self.err(
+                span,
+                format!(
+                    "`{name}` expects {}{} arguments, got {}",
+                    sig.params.len(),
+                    if sig.variadic { "+" } else { "" },
+                    args.len()
+                ),
+            );
+        }
+        for (i, arg) in args.iter().enumerate() {
+            let casts_before = self.casts.len();
+            let at = self.expr(arg)?;
+            if let Some(pt) = sig.params.get(i) {
+                let pt = pt.clone();
+                self.coerce(arg, &at, &pt, arg.span)?;
+            }
+            // Casts written or implied in a `free(...)` argument get the
+            // FreeArg context (the MF elimination, paper §6).
+            if name == "free" {
+                for rec in &mut self.casts[casts_before..] {
+                    if rec.context == CastContext::Plain {
+                        rec.context = CastContext::FreeArg;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that `from` implicitly converts to `to`, recording implicit
+    /// casts that involve function-pointer types.
+    fn coerce(&mut self, src: &Expr, from: &Type, to: &Type, span: Span) -> Result<(), CheckError> {
+        let rf = self.env.resolve(from).clone();
+        let rt = self.env.resolve(to).clone();
+        if self.env.structurally_equal(&rf, &rt) {
+            return Ok(());
+        }
+        if rf.is_arith() && rt.is_arith() {
+            return Ok(());
+        }
+        // Null-pointer constant.
+        if rt.is_ptr() && matches!(&src.kind, ExprKind::IntLit(0)) {
+            if self.env.contains_func_ptr(&rt) {
+                self.casts.push(CastRecord {
+                    node: src.id,
+                    span,
+                    from: Type::Int,
+                    to: to.clone(),
+                    explicit: false,
+                    context: CastContext::LiteralSource,
+                    in_function: self.current_fn.clone(),
+                    src_function: None,
+                });
+            }
+            return Ok(());
+        }
+        // void* converts implicitly both ways (C semantics); other pointer
+        // mismatches also pass but are recorded when fn-ptrs are involved.
+        if rf.is_ptr() && rt.is_ptr() {
+            if self.env.contains_func_ptr(&rf) || self.env.contains_func_ptr(&rt) {
+                let context = self.classify_context(src, &rf, &rt);
+                self.casts.push(CastRecord {
+                    node: src.id,
+                    span,
+                    from: from.clone(),
+                    to: to.clone(),
+                    explicit: false,
+                    context,
+                    in_function: self.current_fn.clone(),
+                    src_function: self.named_function_source(src),
+                });
+            }
+            return Ok(());
+        }
+        // Array decays to pointer.
+        if let (Type::Array(inner, _), Type::Ptr(p)) = (&rf, &rt) {
+            if self.env.structurally_equal(inner, p) {
+                return Ok(());
+            }
+        }
+        self.err(span, format!("cannot implicitly convert {from} to {to}"))
+    }
+
+    /// Records an explicit cast if it involves function-pointer types.
+    fn record_cast(&mut self, cast: &Expr, from: &Type, to: &Type, inner: &Expr) {
+        if !self.env.contains_func_ptr(from) && !self.env.contains_func_ptr(to) {
+            return;
+        }
+        let context = self.classify_context(inner, from, to);
+        self.casts.push(CastRecord {
+            node: cast.id,
+            span: cast.span,
+            from: from.clone(),
+            to: to.clone(),
+            explicit: true,
+            context,
+            in_function: self.current_fn.clone(),
+            src_function: self.named_function_source(inner),
+        });
+    }
+
+    fn classify_context(&self, src: &Expr, from: &Type, to: &Type) -> CastContext {
+        // malloc result?
+        if let ExprKind::Call(callee, _) = &src.kind {
+            if let ExprKind::Var(n) = &callee.kind {
+                if MALLOC_LIKE.contains(&n.as_str()) {
+                    return CastContext::MallocResult;
+                }
+            }
+        }
+        if matches!(&src.kind, ExprKind::IntLit(_)) {
+            return CastContext::LiteralSource;
+        }
+        // Function address flowing into a function pointer.
+        if let Some(fname) = self.named_function_source(src) {
+            if to.is_func_ptr() {
+                let compatible = match (self.func_sigs.get(&fname), to.func_sig()) {
+                    (Some(fs), Some(ps)) => self.env.structurally_equal(
+                        &Type::Func(fs.clone()),
+                        &Type::Func(ps.clone()),
+                    ),
+                    _ => false,
+                };
+                return CastContext::FnAddrToFnPtr { compatible };
+            }
+        }
+        let _ = from;
+        CastContext::Plain
+    }
+
+    /// If `e` is `f` or `&f` for a declared function `f`, returns its name.
+    fn named_function_source(&self, e: &Expr) -> Option<String> {
+        let name = match &e.kind {
+            ExprKind::Var(n) => n,
+            ExprKind::Unary(UnOp::AddrOf, inner) => match &inner.kind {
+                ExprKind::Var(n) => n,
+                _ => return None,
+            },
+            _ => return None,
+        };
+        if self.lookup_var(name).is_none() && self.func_sigs.contains_key(name) {
+            Some(name.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Records an implicit fn-pointer "cast" when an assignment stores the
+    /// address of a function into a pointer of a *different* fn-ptr type —
+    /// the K1 pattern.
+    fn record_implicit_fnptr_flow(&mut self, assign: &Expr, rt: &Type, lt: &Type, rhs: &Expr) {
+        if !lt.is_func_ptr() {
+            return;
+        }
+        let Some(fname) = self.named_function_source(rhs) else { return };
+        if self.env.structurally_equal(rt, lt) {
+            return;
+        }
+        let compatible = match (lt.func_sig(), rt.func_sig()) {
+            (Some(a), Some(b)) => self
+                .env
+                .structurally_equal(&Type::Func(a.clone()), &Type::Func(b.clone())),
+            _ => false,
+        };
+        self.casts.push(CastRecord {
+            node: assign.id,
+            span: assign.span,
+            from: rt.clone(),
+            to: lt.clone(),
+            explicit: false,
+            context: CastContext::FnAddrToFnPtr { compatible },
+            in_function: self.current_fn.clone(),
+            src_function: Some(fname),
+        });
+    }
+
+    fn mark_last_cast_context(&mut self, cast_node: NodeId, ctx: CastContext) {
+        if let Some(rec) = self.casts.iter_mut().rev().find(|c| c.node == cast_node) {
+            if rec.context == CastContext::Plain {
+                rec.context = ctx;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn checked(src: &str) -> TypedProgram {
+        let p = parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
+        check(p).unwrap_or_else(|e| panic!("check: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn types_simple_arithmetic() {
+        let tp = checked("int f(int x) { return x + 1; }");
+        assert!(tp.casts.is_empty());
+        assert!(tp.indirect_calls.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        let p = parse("int f(void) { return y; }").unwrap();
+        assert!(check(p).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_return_type() {
+        let p = parse("struct s { int x; };\nstruct s g;\nint f(void) { return g; }").unwrap();
+        assert!(check(p).is_err());
+    }
+
+    #[test]
+    fn records_address_taken_functions() {
+        let tp = checked(
+            "int h(int x) { return x; }\n\
+             void g(void) { int (*p)(int); p = &h; }",
+        );
+        assert!(tp.address_taken.contains("h"));
+    }
+
+    #[test]
+    fn bare_function_name_decays_and_is_address_taken() {
+        let tp = checked(
+            "int h(int x) { return x; }\n\
+             void g(void) { int (*p)(int); p = h; }",
+        );
+        assert!(tp.address_taken.contains("h"));
+    }
+
+    #[test]
+    fn direct_calls_do_not_take_addresses() {
+        let tp = checked("int h(int x) { return x; }\nint g(void) { return h(1); }");
+        assert!(!tp.address_taken.contains("h"));
+        assert_eq!(tp.direct_calls.len(), 1);
+        assert!(tp.direct_calls[0].tail);
+    }
+
+    #[test]
+    fn records_indirect_calls_with_signature() {
+        let tp = checked(
+            "int h(int x) { return x; }\n\
+             int g(void) { int (*p)(int); p = &h; return p(3); }",
+        );
+        assert_eq!(tp.indirect_calls.len(), 1);
+        let ic = &tp.indirect_calls[0];
+        assert_eq!(ic.sig.params, vec![Type::Int]);
+        assert!(ic.tail);
+    }
+
+    #[test]
+    fn non_tail_calls_are_marked() {
+        let tp = checked("int h(int x) { return x; }\nint g(void) { int y = h(1); return y; }");
+        assert!(!tp.direct_calls[0].tail);
+    }
+
+    #[test]
+    fn malloc_cast_context_is_recognized() {
+        let tp = checked(
+            "struct ops { void (*run)(int); };\n\
+             void* malloc(int n);\n\
+             void g(void) { struct ops* o = (struct ops*)malloc(8); }",
+        );
+        assert_eq!(tp.casts.len(), 1);
+        assert_eq!(tp.casts[0].context, CastContext::MallocResult);
+    }
+
+    #[test]
+    fn null_literal_into_fnptr_is_literal_source() {
+        let tp = checked("void g(void) { void (*p)(int); p = 0; }");
+        assert_eq!(tp.casts.len(), 1);
+        assert_eq!(tp.casts[0].context, CastContext::LiteralSource);
+    }
+
+    #[test]
+    fn incompatible_fn_address_is_k1_shaped() {
+        let tp = checked(
+            "int cmp(int a, int b) { return a - b; }\n\
+             void g(void) { int (*p)(char*, char*); p = (int(*)(char*, char*))cmp; }",
+        );
+        assert_eq!(tp.casts.len(), 1);
+        assert_eq!(
+            tp.casts[0].context,
+            CastContext::FnAddrToFnPtr { compatible: false }
+        );
+        assert_eq!(tp.casts[0].src_function.as_deref(), Some("cmp"));
+    }
+
+    #[test]
+    fn implicit_incompatible_fnptr_assignment_is_recorded() {
+        let tp = checked(
+            "int cmp(int a, int b) { return a - b; }\n\
+             void g(void) { int (*p)(int); p = cmp; }",
+        );
+        // One implicit-flow record (K1-shaped) plus the coercion record.
+        assert!(tp
+            .casts
+            .iter()
+            .any(|c| c.context == CastContext::FnAddrToFnPtr { compatible: false }));
+    }
+
+    #[test]
+    fn nf_pattern_cast_then_plain_field_access() {
+        let tp = checked(
+            "struct xpvlv { int xlv_targlen; void (*hook)(int); };\n\
+             struct sv { void* sv_any; };\n\
+             int g(struct sv* sv) { return ((struct xpvlv*)(sv->sv_any))->xlv_targlen; }",
+        );
+        assert_eq!(tp.casts.len(), 1);
+        assert_eq!(tp.casts[0].context, CastContext::NonFpFieldAccess);
+    }
+
+    #[test]
+    fn casts_without_fnptrs_are_not_recorded() {
+        let tp = checked("void g(void) { int x = (int)'a'; char* p = (char*)0; }");
+        assert!(tp.casts.is_empty());
+    }
+
+    #[test]
+    fn setjmp_longjmp_are_recorded() {
+        let tp = checked(
+            "int run(int* env) { if (setjmp(env)) { return 1; } longjmp(env, 5); return 0; }",
+        );
+        assert_eq!(tp.jmp_records.len(), 2);
+        assert!(tp.jmp_records.iter().any(|j| j.is_setjmp));
+        assert!(tp.jmp_records.iter().any(|j| !j.is_setjmp));
+    }
+
+    #[test]
+    fn asm_functions_are_listed() {
+        let tp = checked("__annotated void* cpy(void* d) __asm__(\"rep movsb\");");
+        assert_eq!(tp.asm_functions, vec![("cpy".to_string(), true)]);
+    }
+
+    #[test]
+    fn variadic_call_allows_extra_args() {
+        let tp = checked(
+            "int printf(char* fmt, ...);\n\
+             void g(void) { printf(\"x\", 1, 2, 3); }",
+        );
+        assert_eq!(tp.direct_calls.len(), 1);
+    }
+
+    #[test]
+    fn variadic_call_still_requires_fixed_args() {
+        let p = parse("int printf(char* fmt, ...);\nvoid g(void) { printf(); }").unwrap();
+        assert!(check(p).is_err());
+    }
+
+    #[test]
+    fn switch_bodies_are_checked() {
+        let p = parse("int f(int x) { switch (x) { case 0: return y; } return 0; }").unwrap();
+        assert!(check(p).is_err());
+    }
+
+    #[test]
+    fn expression_types_are_recorded_for_all_nodes() {
+        let tp = checked("int f(int x) { return x * (x + 2); }");
+        let f = tp.program.function("f").unwrap();
+        let mut missing = 0;
+        f.body.as_ref().unwrap().walk_exprs(&mut |e| {
+            if !tp.expr_types.contains_key(&e.id) {
+                missing += 1;
+            }
+        });
+        assert_eq!(missing, 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Hand-written lexer for MiniC.
+
+use std::fmt;
+
+use crate::ast::Span;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser via
+    /// [`Tok::is_kw`] to keep the token set small).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (content, unescaped).
+    Str(String),
+    /// Character literal (as its integer value).
+    Char(i64),
+    /// Punctuation/operator, e.g. `"("`, `"->"`, `"<<"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(s) if *s == p)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Char(_) => write!(f, "char literal"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Clone, Debug)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// A lexical error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where it occurred.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "(", ")", "{", "}", "[", "]", ";", ",",
+    ".", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":",
+];
+
+/// Tokenizes MiniC source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let err = |msg: &str, line: u32, col: u32| LexError {
+        message: msg.to_string(),
+        line,
+        col,
+    };
+
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err("unterminated block comment", sl, sc));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        continue 'outer;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let span = Span { line, col };
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+                col += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_string()),
+                span,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                i += 2;
+                col += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                    col += 1;
+                }
+                let v = i64::from_str_radix(&src[start + 2..i], 16)
+                    .map_err(|_| err("invalid hex literal", span.line, span.col))?;
+                out.push(SpannedTok { tok: Tok::Int(v), span });
+                continue;
+            }
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+                col += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                col += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| err("invalid float", span.line, span.col))?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| err("invalid integer", span.line, span.col))?)
+            };
+            out.push(SpannedTok { tok, span });
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            i += 1;
+            col += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(err("unterminated string", span.line, span.col));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        col += 1;
+                        break;
+                    }
+                    b'\\' if i + 1 < bytes.len() => {
+                        s.push(unescape(bytes[i + 1]));
+                        i += 2;
+                        col += 2;
+                    }
+                    b'\n' => return Err(err("newline in string", span.line, span.col)),
+                    b => {
+                        s.push(b as char);
+                        i += 1;
+                        col += 1;
+                    }
+                }
+            }
+            out.push(SpannedTok { tok: Tok::Str(s), span });
+            continue;
+        }
+        // Char literals.
+        if c == '\'' {
+            i += 1;
+            col += 1;
+            if i >= bytes.len() {
+                return Err(err("unterminated char literal", span.line, span.col));
+            }
+            let v = if bytes[i] == b'\\' {
+                if i + 1 >= bytes.len() {
+                    return Err(err("unterminated escape", span.line, span.col));
+                }
+                let v = unescape(bytes[i + 1]) as i64;
+                i += 2;
+                col += 2;
+                v
+            } else {
+                let v = bytes[i] as i64;
+                i += 1;
+                col += 1;
+                v
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(err("unterminated char literal", span.line, span.col));
+            }
+            i += 1;
+            col += 1;
+            out.push(SpannedTok { tok: Tok::Char(v), span });
+            continue;
+        }
+        // Punctuation, maximal munch.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(SpannedTok { tok: Tok::Punct(p), span });
+                i += p.len();
+                col += p.len() as u32;
+                continue 'outer;
+            }
+        }
+        return Err(err(&format!("unexpected character `{c}`"), line, col));
+    }
+    out.push(SpannedTok { tok: Tok::Eof, span: Span { line, col } });
+    Ok(out)
+}
+
+fn unescape(b: u8) -> char {
+    match b {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        assert_eq!(
+            toks("int foo _bar9"),
+            [
+                Tok::Ident("int".into()),
+                Tok::Ident("foo".into()),
+                Tok::Ident("_bar9".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42 0x2a 3.5"), [Tok::Int(42), Tok::Int(42), Tok::Float(3.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_strings_and_chars() {
+        assert_eq!(
+            toks(r#""hi\n" 'a' '\n'"#),
+            [Tok::Str("hi\n".into()), Tok::Char(97), Tok::Char(10), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_on_punctuation() {
+        assert_eq!(
+            toks("a->b << c <= ..."),
+            [
+                Tok::Ident("a".into()),
+                Tok::Punct("->"),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Punct("..."),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a // c\nb /* x\ny */ c"), [
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into()),
+            Tok::Ident("c".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span.line, 1);
+        assert_eq!(ts[1].span.line, 2);
+        assert_eq!(ts[1].span.col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("@").is_err());
+    }
+
+    mod robustness {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn lexing_never_panics(src in "[ -~\n\t]{0,200}") {
+                let _ = lex(&src);
+            }
+
+            #[test]
+            fn lexed_token_streams_end_with_eof(src in "[a-z0-9 +*/()<>=-]{0,100}") {
+                if let Ok(toks) = lex(&src) {
+                    prop_assert!(matches!(toks.last().map(|t| &t.tok), Some(Tok::Eof)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1033 @@
+//! Recursive-descent parser for MiniC, including C declarator syntax
+//! (`int (*fp)(int, char*)`), casts with abstract declarators, `switch`,
+//! variadic signatures, inline-assembly functions and the `__tag_assoc`
+//! analyzer directive.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, SpannedTok, Tok};
+use crate::types::{Composite, Field, FuncType, Type};
+
+/// A parse error with location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Line.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parses a MiniC translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, next_id: 0, typedefs: HashSet::new(), last_params: None };
+    p.program()
+}
+
+const BASE_TYPES: &[&str] = &["void", "int", "char", "float", "long", "double", "unsigned"];
+const KEYWORDS: &[&str] = &[
+    "void", "int", "char", "float", "long", "double", "unsigned", "struct", "union",
+    "typedef", "if", "else", "while", "return", "break", "continue", "switch", "case",
+    "default", "sizeof", "static", "extern", "for",
+];
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    next_id: u32,
+    typedefs: HashSet<String>,
+    /// Named parameters from the most recently parsed parameter list, so
+    /// `item()` can recover names (the declarator machinery carries types
+    /// only).
+    last_params: Option<Vec<Param>>,
+}
+
+/// A parsed C declarator, applied inside-out to a base type.
+struct Declarator {
+    ptrs: usize,
+    kind: DirectDecl,
+    suffixes: Vec<Suffix>,
+}
+
+enum DirectDecl {
+    Name(Option<String>),
+    Paren(Box<Declarator>),
+}
+
+enum Suffix {
+    Array(usize),
+    Func { params: Vec<Param>, variadic: bool },
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let s = self.span();
+        Err(ParseError { message: msg.into(), line: s.line, col: s.col })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn mk(&mut self, span: Span, kind: ExprKind) -> Expr {
+        Expr { id: self.fresh_id(), span, kind }
+    }
+
+    /// Whether the current token begins a type.
+    fn at_type_start(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(s) => {
+                BASE_TYPES.contains(&s.as_str())
+                    || s == "struct"
+                    || s == "union"
+                    || self.typedefs.contains(s)
+            }
+            _ => false,
+        }
+    }
+
+    // ---------------- program structure ----------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), Tok::Eof) {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        // typedef
+        if self.peek().is_kw("typedef") {
+            self.bump();
+            let base = self.base_type()?;
+            let d = self.declarator()?;
+            let (name, ty) = apply_declarator(d, base);
+            let name = name.ok_or_else(|| ParseError {
+                message: "typedef requires a name".into(),
+                line: self.span().line,
+                col: self.span().col,
+            })?;
+            self.expect_punct(";")?;
+            self.typedefs.insert(name.clone());
+            return Ok(Item::TypeDef { name, ty });
+        }
+        // __tag_assoc(Abstract, value, Concrete);
+        if self.peek().is_kw("__tag_assoc") {
+            self.bump();
+            self.expect_punct("(")?;
+            let abstract_struct = self.expect_ident()?;
+            self.expect_punct(",")?;
+            let tag_value = match self.bump() {
+                Tok::Int(v) => v,
+                other => return self.err(format!("expected tag value, found {other}")),
+            };
+            self.expect_punct(",")?;
+            let concrete_struct = self.expect_ident()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Item::TagAssoc { abstract_struct, tag_value, concrete_struct });
+        }
+        // struct/union definition: struct S { ... };
+        if (self.peek().is_kw("struct") || self.peek().is_kw("union"))
+            && matches!(self.peek_at(1), Tok::Ident(_))
+            && self.peek_at(2).is_punct("{")
+        {
+            let is_union = self.peek().is_kw("union");
+            self.bump();
+            let name = self.expect_ident()?;
+            self.expect_punct("{")?;
+            let mut fields = Vec::new();
+            while !self.eat_punct("}") {
+                let base = self.base_type()?;
+                let d = self.declarator()?;
+                let (fname, fty) = apply_declarator(d, base);
+                let fname = match fname {
+                    Some(n) => n,
+                    None => return self.err("field requires a name"),
+                };
+                self.expect_punct(";")?;
+                fields.push(Field { name: fname, ty: fty });
+            }
+            self.expect_punct(";")?;
+            return Ok(Item::Composite(Composite { name, fields, is_union }));
+        }
+        // function or global, with optional storage class / annotation
+        let mut is_static = false;
+        let mut asm_annotated = false;
+        loop {
+            if self.eat_kw("static") {
+                is_static = true;
+            } else if self.eat_kw("extern") {
+                // extern is the default linkage; accepted and ignored
+            } else if self.peek().is_kw("__annotated") {
+                self.bump();
+                asm_annotated = true;
+            } else {
+                break;
+            }
+        }
+        let span = self.span();
+        let base = self.base_type()?;
+        let d = self.declarator()?;
+        let (name, ty) = apply_declarator(d, base);
+        let name = match name {
+            Some(n) => n,
+            None => return self.err("item requires a name"),
+        };
+        if let Type::Func(sig) = &ty {
+            // function definition, asm function, or declaration
+            let params = self.last_params.take().unwrap_or_else(|| {
+                sig.params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| Param { name: format!("__p{i}"), ty: t.clone() })
+                    .collect()
+            });
+            if self.peek().is_kw("__asm__") {
+                self.bump();
+                self.expect_punct("(")?;
+                let text = match self.bump() {
+                    Tok::Str(s) => s,
+                    other => return self.err(format!("expected assembly string, found {other}")),
+                };
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                return Ok(Item::Function(Function {
+                    name,
+                    params,
+                    ret: (*sig.ret).clone(),
+                    variadic: sig.variadic,
+                    body: None,
+                    asm_body: Some(text),
+                    asm_annotated,
+                    is_static,
+                    span,
+                }));
+            }
+            if self.peek().is_punct("{") {
+                let body = self.block()?;
+                return Ok(Item::Function(Function {
+                    name,
+                    params,
+                    ret: (*sig.ret).clone(),
+                    variadic: sig.variadic,
+                    body: Some(body),
+                    asm_body: None,
+                    asm_annotated,
+                    is_static,
+                    span,
+                }));
+            }
+            self.expect_punct(";")?;
+            return Ok(Item::Function(Function {
+                name,
+                params,
+                ret: (*sig.ret).clone(),
+                variadic: sig.variadic,
+                body: None,
+                asm_body: None,
+                asm_annotated,
+                is_static,
+                span,
+            }));
+        }
+        // global variable
+        let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+        self.expect_punct(";")?;
+        Ok(Item::Global(GlobalVar { name, ty, init, span }))
+    }
+
+    // ---------------- types & declarators ----------------
+
+    fn base_type(&mut self) -> Result<Type, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => match s.as_str() {
+                "void" => {
+                    self.bump();
+                    Ok(Type::Void)
+                }
+                "int" | "long" => {
+                    self.bump();
+                    Ok(Type::Int)
+                }
+                "unsigned" => {
+                    self.bump();
+                    // `unsigned`, `unsigned int`, `unsigned long`, `unsigned char`
+                    if self.eat_kw("int") || self.eat_kw("long") {
+                        Ok(Type::Int)
+                    } else if self.eat_kw("char") {
+                        Ok(Type::Char)
+                    } else {
+                        Ok(Type::Int)
+                    }
+                }
+                "char" => {
+                    self.bump();
+                    Ok(Type::Char)
+                }
+                "float" | "double" => {
+                    self.bump();
+                    Ok(Type::Float)
+                }
+                "struct" | "union" => {
+                    let is_union = s == "union";
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    Ok(if is_union { Type::Union(name) } else { Type::Struct(name) })
+                }
+                _ if self.typedefs.contains(&s) => {
+                    self.bump();
+                    Ok(Type::Named(s))
+                }
+                _ => self.err(format!("expected a type, found `{s}`")),
+            },
+            other => self.err(format!("expected a type, found {other}")),
+        }
+    }
+
+    fn declarator(&mut self) -> Result<Declarator, ParseError> {
+        let mut ptrs = 0;
+        while self.eat_punct("*") {
+            ptrs += 1;
+        }
+        let kind = if self.peek().is_punct("(")
+            && (self.peek_at(1).is_punct("*") || self.peek_at(1).is_punct("("))
+        {
+            // parenthesized declarator: ( * ... )
+            self.bump();
+            let inner = self.declarator()?;
+            self.expect_punct(")")?;
+            DirectDecl::Paren(Box::new(inner))
+        } else if let Tok::Ident(s) = self.peek() {
+            if KEYWORDS.contains(&s.as_str()) || self.typedefs.contains(s) {
+                DirectDecl::Name(None) // abstract declarator
+            } else {
+                let n = s.clone();
+                self.bump();
+                DirectDecl::Name(Some(n))
+            }
+        } else {
+            DirectDecl::Name(None) // abstract declarator
+        };
+        let mut suffixes = Vec::new();
+        loop {
+            if self.peek().is_punct("[") {
+                self.bump();
+                let n = match self.bump() {
+                    Tok::Int(v) if v >= 0 => v as usize,
+                    other => return self.err(format!("expected array length, found {other}")),
+                };
+                self.expect_punct("]")?;
+                suffixes.push(Suffix::Array(n));
+            } else if self.peek().is_punct("(") {
+                self.bump();
+                let (params, variadic) = self.param_list()?;
+                suffixes.push(Suffix::Func { params, variadic });
+            } else {
+                break;
+            }
+        }
+        Ok(Declarator { ptrs, kind, suffixes })
+    }
+
+    fn param_list(&mut self) -> Result<(Vec<Param>, bool), ParseError> {
+        let mut params = Vec::new();
+        let mut variadic = false;
+        if self.eat_punct(")") {
+            self.last_params = Some(Vec::new());
+            return Ok((params, false));
+        }
+        // `(void)` means no parameters
+        if self.peek().is_kw("void") && self.peek_at(1).is_punct(")") {
+            self.bump();
+            self.bump();
+            self.last_params = Some(Vec::new());
+            return Ok((params, false));
+        }
+        loop {
+            if self.eat_punct("...") {
+                variadic = true;
+                break;
+            }
+            let base = self.base_type()?;
+            let d = self.declarator()?;
+            let (name, ty) = apply_declarator(d, base);
+            params.push(Param { name: name.unwrap_or_default(), ty });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        self.last_params = Some(params.clone());
+        Ok((params, variadic))
+    }
+
+    /// Parses a type-name (base type + abstract declarator) for casts and
+    /// `sizeof`.
+    fn type_name(&mut self) -> Result<Type, ParseError> {
+        let base = self.base_type()?;
+        let d = self.declarator()?;
+        let (name, ty) = apply_declarator(d, base);
+        if name.is_some() {
+            return self.err("unexpected name in type");
+        }
+        Ok(ty)
+    }
+
+    // ---------------- statements ----------------
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.peek().is_punct("{") {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_blk = self.block_or_single()?;
+            let else_blk = if self.eat_kw("else") {
+                Some(self.block_or_single()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then_blk, else_blk });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block_or_single()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if self.at_type_start() {
+                let base = self.base_type()?;
+                let d = self.declarator()?;
+                let (name, ty) = apply_declarator(d, base);
+                let name = match name {
+                    Some(n) => n,
+                    None => return self.err("for-loop declaration requires a name"),
+                };
+                let init_expr = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Decl { name, ty, init: init_expr }))
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if self.peek().is_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let step = if self.peek().is_punct(")") { None } else { Some(self.expr()?) };
+            self.expect_punct(")")?;
+            let body = self.block_or_single()?;
+            return Ok(Stmt::For { init, cond, step, body });
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_kw("switch") {
+            self.expect_punct("(")?;
+            let scrutinee = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let mut cases = Vec::new();
+            let mut default = None;
+            while !self.eat_punct("}") {
+                if self.eat_kw("case") {
+                    let v = match self.bump() {
+                        Tok::Int(v) => v,
+                        Tok::Char(v) => v,
+                        Tok::Punct("-") => match self.bump() {
+                            Tok::Int(v) => -v,
+                            other => {
+                                return self.err(format!("expected case value, found {other}"))
+                            }
+                        },
+                        other => return self.err(format!("expected case value, found {other}")),
+                    };
+                    self.expect_punct(":")?;
+                    let body = self.case_body()?;
+                    cases.push((v, body));
+                } else if self.eat_kw("default") {
+                    self.expect_punct(":")?;
+                    default = Some(self.case_body()?);
+                } else {
+                    return self.err(format!("expected `case` or `default`, found {}", self.peek()));
+                }
+            }
+            return Ok(Stmt::Switch { scrutinee, cases, default });
+        }
+        // declaration?
+        if self.at_type_start() {
+            let base = self.base_type()?;
+            let d = self.declarator()?;
+            let (name, ty) = apply_declarator(d, base);
+            let name = match name {
+                Some(n) => n,
+                None => return self.err("declaration requires a name"),
+            };
+            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { name, ty, init });
+        }
+        // expression statement
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Statements in a `case` arm run until the next `case`/`default`/`}`.
+    /// MiniC cases do not fall through (each arm ends with an implicit
+    /// break), matching how LLVM models switch successors.
+    fn case_body(&mut self) -> Result<Block, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Ident(s) if s == "case" || s == "default" => break,
+                Tok::Punct("}") => break,
+                Tok::Eof => return self.err("unterminated switch"),
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        Ok(Block { stmts })
+    }
+
+    fn block_or_single(&mut self) -> Result<Block, ParseError> {
+        if self.peek().is_punct("{") {
+            self.block()
+        } else {
+            Ok(Block { stmts: vec![self.stmt()?] })
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary_expr(0)?;
+        if self.peek().is_punct("=") {
+            let span = self.span();
+            self.bump();
+            let rhs = self.assign_expr()?;
+            return Ok(self.mk(span, ExprKind::Assign(Box::new(lhs), Box::new(rhs))));
+        }
+        Ok(lhs)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, prec)) = self.peek_binop() {
+            if prec < min_prec {
+                break;
+            }
+            let span = self.span();
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = self.mk(span, ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let p = match self.peek() {
+            Tok::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            "||" => (BinOp::LogOr, 1),
+            "&&" => (BinOp::LogAnd, 2),
+            "|" => (BinOp::BitOr, 3),
+            "^" => (BinOp::BitXor, 4),
+            "&" => (BinOp::BitAnd, 5),
+            "==" => (BinOp::Eq, 6),
+            "!=" => (BinOp::Ne, 6),
+            "<" => (BinOp::Lt, 7),
+            "<=" => (BinOp::Le, 7),
+            ">" => (BinOp::Gt, 7),
+            ">=" => (BinOp::Ge, 7),
+            "<<" => (BinOp::Shl, 8),
+            ">>" => (BinOp::Shr, 8),
+            "+" => (BinOp::Add, 9),
+            "-" => (BinOp::Sub, 9),
+            "*" => (BinOp::Mul, 10),
+            "/" => (BinOp::Div, 10),
+            "%" => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        if self.eat_punct("-") {
+            let e = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Unary(UnOp::Neg, Box::new(e))));
+        }
+        if self.eat_punct("!") {
+            let e = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Unary(UnOp::Not, Box::new(e))));
+        }
+        if self.eat_punct("~") {
+            let e = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Unary(UnOp::BitNot, Box::new(e))));
+        }
+        if self.eat_punct("*") {
+            let e = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Unary(UnOp::Deref, Box::new(e))));
+        }
+        if self.eat_punct("&") {
+            let e = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Unary(UnOp::AddrOf, Box::new(e))));
+        }
+        if self.peek().is_kw("sizeof") {
+            self.bump();
+            self.expect_punct("(")?;
+            let ty = self.type_name()?;
+            self.expect_punct(")")?;
+            return Ok(self.mk(span, ExprKind::SizeOf(ty)));
+        }
+        // cast: `(` type-start ... `)` unary
+        if self.peek().is_punct("(") && self.type_starts_at(1) {
+            self.bump();
+            let ty = self.type_name()?;
+            self.expect_punct(")")?;
+            let e = self.unary_expr()?;
+            return Ok(self.mk(span, ExprKind::Cast(ty, Box::new(e))));
+        }
+        self.postfix_expr()
+    }
+
+    fn type_starts_at(&self, n: usize) -> bool {
+        match self.peek_at(n) {
+            Tok::Ident(s) => {
+                BASE_TYPES.contains(&s.as_str())
+                    || s == "struct"
+                    || s == "union"
+                    || self.typedefs.contains(s)
+            }
+            _ => false,
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let span = self.span();
+            if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                // setjmp/longjmp intrinsics
+                if let ExprKind::Var(name) = &e.kind {
+                    if name == "setjmp" && args.len() == 1 {
+                        let env = args.into_iter().next().expect("len checked");
+                        e = self.mk(span, ExprKind::SetJmp(Box::new(env)));
+                        continue;
+                    }
+                    if name == "longjmp" && args.len() == 2 {
+                        let mut it = args.into_iter();
+                        let env = it.next().expect("len checked");
+                        let val = it.next().expect("len checked");
+                        e = self.mk(span, ExprKind::LongJmp(Box::new(env), Box::new(val)));
+                        continue;
+                    }
+                }
+                e = self.mk(span, ExprKind::Call(Box::new(e), args));
+            } else if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = self.mk(span, ExprKind::Index(Box::new(e), Box::new(idx)));
+            } else if self.eat_punct(".") {
+                let f = self.expect_ident()?;
+                e = self.mk(span, ExprKind::Field(Box::new(e), f));
+            } else if self.eat_punct("->") {
+                let f = self.expect_ident()?;
+                e = self.mk(span, ExprKind::Arrow(Box::new(e), f));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::IntLit(v)))
+            }
+            Tok::Char(v) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::IntLit(v)))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::FloatLit(v)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::StrLit(s)))
+            }
+            Tok::Ident(s) if s == "NULL" => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::IntLit(0)))
+            }
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(self.mk(span, ExprKind::Var(s)))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+fn apply_declarator(d: Declarator, base: Type) -> (Option<String>, Type) {
+    let mut t = base;
+    for _ in 0..d.ptrs {
+        t = Type::Ptr(Box::new(t));
+    }
+    for s in d.suffixes.into_iter().rev() {
+        t = match s {
+            Suffix::Array(n) => Type::Array(Box::new(t), n),
+            Suffix::Func { params, variadic } => Type::Func(FuncType {
+                params: params.into_iter().map(|p| p.ty).collect(),
+                ret: Box::new(t),
+                variadic,
+            }),
+        };
+    }
+    match d.kind {
+        DirectDecl::Name(n) => (n, t),
+        DirectDecl::Paren(inner) => apply_declarator(*inner, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        match parse(src) {
+            Ok(p) => p,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_function() {
+        let p = parse_ok("int add(int a, int b) { return a + b; }");
+        let f = p.function("add").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Type::Int);
+        assert!(!f.variadic);
+    }
+
+    #[test]
+    fn parses_function_pointer_declaration() {
+        let p = parse_ok("int apply(int x) { int (*fp)(int, char*); fp = 0; return 0; }");
+        let f = p.function("apply").unwrap();
+        let body = f.body.as_ref().unwrap();
+        match &body.stmts[0] {
+            Stmt::Decl { name, ty, .. } => {
+                assert_eq!(name, "fp");
+                assert!(ty.is_func_ptr(), "got {ty}");
+                let sig = ty.func_sig().unwrap();
+                assert_eq!(sig.params, vec![Type::Int, Type::Char.ptr()]);
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_variadic_signature() {
+        let p = parse_ok("int printf(char* fmt, ...);");
+        let f = p.function("printf").unwrap();
+        assert!(f.variadic);
+        assert!(f.body.is_none());
+    }
+
+    #[test]
+    fn parses_cast_with_abstract_function_pointer_declarator() {
+        let p = parse_ok("void g(void) { void* p; int (*fp)(int); fp = (int(*)(int))p; }");
+        let f = p.function("g").unwrap();
+        let Stmt::Expr(e) = &f.body.as_ref().unwrap().stmts[2] else {
+            panic!("expected expression statement")
+        };
+        let ExprKind::Assign(_, rhs) = &e.kind else { panic!("expected assignment") };
+        let ExprKind::Cast(ty, _) = &rhs.kind else { panic!("expected cast") };
+        assert!(ty.is_func_ptr());
+    }
+
+    #[test]
+    fn parses_struct_definition_and_use() {
+        let p = parse_ok(
+            "struct point { int x; int y; };\n\
+             int norm(struct point* p) { return p->x * p->x + p->y * p->y; }",
+        );
+        assert!(matches!(&p.items[0], Item::Composite(c) if c.name == "point"));
+        assert!(p.function("norm").is_some());
+    }
+
+    #[test]
+    fn parses_switch_with_cases() {
+        let p = parse_ok(
+            "int classify(int x) { switch (x) { case 0: return 10; case 1: return 20; \
+             default: return 30; } return 0; }",
+        );
+        let f = p.function("classify").unwrap();
+        let Stmt::Switch { cases, default, .. } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!("expected switch")
+        };
+        assert_eq!(cases.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn parses_typedef_and_uses_it() {
+        let p = parse_ok("typedef int word;\nword double_it(word w) { return w * 2; }");
+        assert!(matches!(&p.items[0], Item::TypeDef { name, ty } if name == "word" && *ty == Type::Int));
+        let f = p.function("double_it").unwrap();
+        assert_eq!(f.ret, Type::Named("word".into()));
+    }
+
+    #[test]
+    fn parses_typedef_of_function_pointer() {
+        let p = parse_ok("typedef void (*handler)(int);\nhandler current; ");
+        let Item::TypeDef { ty, .. } = &p.items[0] else { panic!() };
+        assert!(ty.is_func_ptr());
+        assert!(matches!(&p.items[1], Item::Global(g) if g.name == "current"));
+    }
+
+    #[test]
+    fn parses_address_of_function() {
+        let p = parse_ok("int f(int x) { return x; }\nvoid g(void) { int (*p)(int); p = &f; p = f; }");
+        assert!(p.function("g").is_some());
+    }
+
+    #[test]
+    fn parses_tag_assoc_directive() {
+        let p = parse_ok("__tag_assoc(sv, 3, xpvlv);");
+        assert!(matches!(
+            &p.items[0],
+            Item::TagAssoc { abstract_struct, tag_value: 3, concrete_struct }
+                if abstract_struct == "sv" && concrete_struct == "xpvlv"
+        ));
+    }
+
+    #[test]
+    fn parses_asm_function() {
+        let p = parse_ok("__annotated void* fast_copy(void* d, void* s, int n) __asm__(\"rep movsb\");");
+        let f = p.function("fast_copy").unwrap();
+        assert!(f.asm_body.is_some());
+        assert!(f.asm_annotated);
+    }
+
+    #[test]
+    fn parses_setjmp_longjmp_intrinsics() {
+        let p = parse_ok(
+            "int run(int* env) { if (setjmp(env)) { return 1; } longjmp(env, 5); return 0; }",
+        );
+        let f = p.function("run").unwrap();
+        let mut saw_setjmp = false;
+        let mut saw_longjmp = false;
+        f.body.as_ref().unwrap().walk_exprs(&mut |e| match e.kind {
+            ExprKind::SetJmp(_) => saw_setjmp = true,
+            ExprKind::LongJmp(_, _) => saw_longjmp = true,
+            _ => {}
+        });
+        assert!(saw_setjmp && saw_longjmp);
+    }
+
+    #[test]
+    fn parses_globals_with_initializers() {
+        let p = parse_ok("int counter = 42;\nchar* name = \"spec\";");
+        assert_eq!(p.globals().count(), 2);
+    }
+
+    #[test]
+    fn operator_precedence_is_c_like() {
+        let p = parse_ok("int f(void) { return 1 + 2 * 3; }");
+        let f = p.function("f").unwrap();
+        let Stmt::Return(Some(e)) = &f.body.as_ref().unwrap().stmts[0] else { panic!() };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("expected add at top") };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let p = parse_ok("int f(int x) { return x + x * x; }");
+        let mut ids = Vec::new();
+        p.function("f").unwrap().body.as_ref().unwrap().walk_exprs(&mut |e| ids.push(e.id));
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn parses_for_loops() {
+        let p = parse_ok(
+            "int sum(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+        );
+        let f = p.function("sum").unwrap();
+        assert!(matches!(&f.body.as_ref().unwrap().stmts[1], Stmt::For { .. }));
+        // Headerless variants parse too.
+        parse_ok("int f(void) { for (;;) { break; } return 1; }");
+        parse_ok("int f(int n) { int i = 0; for (; i < n;) { i = i + 1; } return i; }");
+    }
+
+    #[test]
+    fn error_reports_location() {
+        let err = parse("int f(void) {\n  return @;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("int int int").is_err());
+        assert!(parse("struct {").is_err());
+    }
+
+    mod robustness {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn parsing_never_panics(src in "[ -~\n]{0,160}") {
+                let _ = parse(&src);
+            }
+
+            #[test]
+            fn checking_never_panics(src in "[a-z0-9 Iint(){};=+*,&-]{0,120}") {
+                if let Ok(p) = parse(&src) {
+                    let _ = crate::check::check(p);
+                }
+            }
+        }
+    }
+}

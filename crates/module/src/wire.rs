@@ -1,0 +1,673 @@
+//! A compact, non-self-describing binary object format built on serde.
+//!
+//! The permitted dependency set contains `serde` but no ready-made binary
+//! format crate, so this module implements a minimal bincode-style codec:
+//! fixed-width little-endian scalars, `u64` length prefixes for sequences,
+//! maps, strings and byte buffers, a one-byte tag for `Option`, and a
+//! `u32` variant index for enums. Struct fields are written in declaration
+//! order with no names — the schema is the Rust type itself.
+
+use std::fmt;
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+/// Errors produced while encoding or decoding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireError {
+    message: String,
+}
+
+impl WireError {
+    fn new(msg: impl Into<String>) -> Self {
+        WireError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire format error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::new(msg.to_string())
+    }
+}
+
+impl de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::new(msg.to_string())
+    }
+}
+
+/// Serializes a value to bytes.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for data the format cannot represent (e.g.
+/// sequences of unknown length).
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    let mut ser = Encoder { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Deserializes a value from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncated or malformed input, or if trailing
+/// bytes remain.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut de = Decoder { input: bytes, pos: 0 };
+    let value = T::deserialize(&mut de)?;
+    if de.pos != bytes.len() {
+        return Err(WireError::new(format!(
+            "{} trailing bytes after value",
+            bytes.len() - de.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+impl ser::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), WireError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), WireError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| WireError::new("sequences must have a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| WireError::new("maps must have a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait:path, $method:ident $(, $key:ident)?) => {
+        impl $trait for &mut Encoder {
+            type Ok = ();
+            type Error = WireError;
+            $(fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
+                key.serialize(&mut **self)
+            })?
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), WireError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(ser::SerializeSeq, serialize_element);
+forward_compound!(ser::SerializeTuple, serialize_element);
+forward_compound!(ser::SerializeTupleStruct, serialize_field);
+forward_compound!(ser::SerializeTupleVariant, serialize_field);
+forward_compound!(ser::SerializeMap, serialize_value, serialize_key);
+
+impl ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+struct Decoder<'de> {
+    input: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.input.len())
+            .ok_or_else(|| WireError::new("unexpected end of input"))?;
+        let s = &self.input[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn take_len(&mut self) -> Result<usize, WireError> {
+        let bytes = self.take(8)?;
+        let len = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        usize::try_from(len).map_err(|_| WireError::new("length overflows usize"))
+    }
+
+    fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+}
+
+macro_rules! de_scalar {
+    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let bytes = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(bytes.try_into().expect("fixed width")))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::new("format is not self-describing"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(WireError::new(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_i8(self.take(1)?[0] as i8)
+    }
+    de_scalar!(deserialize_i16, visit_i16, i16, 2);
+    de_scalar!(deserialize_i32, visit_i32, i32, 4);
+    de_scalar!(deserialize_i64, visit_i64, i64, 8);
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+    de_scalar!(deserialize_u16, visit_u16, u16, 2);
+    de_scalar!(deserialize_u32, visit_u32, u32, 4);
+    de_scalar!(deserialize_u64, visit_u64, u64, 8);
+    de_scalar!(deserialize_f32, visit_f32, f32, 4);
+    de_scalar!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let v = self.take_u32()?;
+        visitor.visit_char(char::from_u32(v).ok_or_else(|| WireError::new("invalid char"))?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(WireError::new(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::new("identifiers are not encoded"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::new("cannot skip values in a non-self-describing format"))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = WireError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, WireError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = WireError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, WireError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, WireError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = WireError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), WireError> {
+        let index = self.de.take_u32()?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = WireError;
+
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, WireError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
+        use de::Deserializer;
+        self.de.deserialize_tuple(len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        use de::Deserializer;
+        self.de.deserialize_tuple(fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::{BTreeMap, HashMap};
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Sample {
+        Unit,
+        Newtype(u32),
+        Tuple(i8, String),
+        Struct { a: bool, b: Vec<u64> },
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        name: String,
+        values: Vec<Sample>,
+        table: BTreeMap<String, i64>,
+        hash: HashMap<u32, String>,
+        opt: Option<f64>,
+        bytes: Vec<u8>,
+    }
+
+    fn round_trip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&true);
+        round_trip(&-5i64);
+        round_trip(&u64::MAX);
+        round_trip(&3.25f64);
+        round_trip(&"hello".to_string());
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        round_trip(&Sample::Unit);
+        round_trip(&Sample::Newtype(7));
+        round_trip(&Sample::Tuple(-1, "x".into()));
+        round_trip(&Sample::Struct { a: true, b: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let mut hash = HashMap::new();
+        hash.insert(9, "nine".to_string());
+        round_trip(&Nested {
+            name: "n".into(),
+            values: vec![Sample::Unit, Sample::Newtype(1)],
+            table: [("k".to_string(), -3i64)].into_iter().collect(),
+            hash,
+            opt: Some(1.5),
+            bytes: vec![0, 255, 128],
+        });
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = to_bytes(&Sample::Tuple(1, "long string".into())).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Sample>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_variant_index_fails() {
+        let bytes = 99u32.to_le_bytes().to_vec();
+        assert!(from_bytes::<Sample>(&bytes).is_err());
+    }
+
+    mod robustness {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn decoding_junk_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = from_bytes::<Nested>(&bytes);
+                let _ = from_bytes::<Vec<Sample>>(&bytes);
+                let _ = from_bytes::<crate::Module>(&bytes);
+            }
+
+            #[test]
+            fn byte_flips_never_decode_into_panics(
+                seed in any::<u64>(),
+                flip in 0usize..64,
+            ) {
+                let m = crate::Module::new(format!("m{seed}"));
+                let mut bytes = to_bytes(&m).unwrap();
+                if !bytes.is_empty() {
+                    let i = flip % bytes.len();
+                    bytes[i] ^= 0xa5;
+                    let _ = from_bytes::<crate::Module>(&bytes);
+                }
+            }
+        }
+    }
+}

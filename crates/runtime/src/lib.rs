@@ -1,0 +1,431 @@
+//! The MCFI runtime: sandboxed loader, dynamic linker, VM, and syscall
+//! interposition (paper §4, §6, §7).
+//!
+//! A [`Process`] owns a W^X-enforcing [`mem::Sandbox`], the shared
+//! [`mcfi_tables::IdTables`], and the set of loaded modules. Libraries
+//! registered with [`Process::register_library`] can be loaded at runtime
+//! through the `dlopen` syscall: the loader maps the code writable,
+//! relocates and patches it, flips it executable, regenerates the CFG by
+//! type matching over *all* loaded modules, and installs the new policy
+//! with a single update transaction — GOT entries are adjusted between
+//! the Tary and Bary phases, exactly as §5.2 prescribes.
+//!
+//! The VM executes instrumented SimX64 code against the *real* shared
+//! tables, so a concurrent updater thread (Fig. 6's experiment) races
+//! with check transactions exactly as on hardware, including retries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mem;
+pub mod process;
+pub mod stdlib;
+pub mod synth;
+pub mod vm;
+
+pub use process::{Layout, LoadError, Outcome, Process, ProcessOptions, RunResult};
+pub use vm::{Event, Vm, VmError, VmStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfi_codegen::{compile_source, CodegenOptions, Policy};
+    use mcfi_module::Module;
+
+    fn compile(name: &str, src: &str) -> Module {
+        compile_source(name, src, &CodegenOptions::default()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a process with syscall stubs, libms, the startup module,
+    /// and the given program source.
+    fn boot(src: &str) -> Process {
+        boot_with(src, &CodegenOptions::default())
+    }
+
+    fn boot_with(src: &str, opts: &CodegenOptions) -> Process {
+        let mut p = Process::new(ProcessOptions::default());
+        let stubs = synth::syscall_module();
+        let libms = compile_source("libms", stdlib::LIBMS_SRC, opts).unwrap();
+        let start = compile_source("start", stdlib::START_SRC, opts).unwrap();
+        let prog = compile_source("prog", src, opts).unwrap_or_else(|e| panic!("{e}"));
+        p.load_all(vec![stubs, libms, start, prog]).unwrap_or_else(|e| panic!("{e}"));
+        p
+    }
+
+    fn run(src: &str) -> RunResult {
+        let mut p = boot(src);
+        p.run("__start").unwrap()
+    }
+
+    #[test]
+    fn runs_a_trivial_program() {
+        let r = run("int main(void) { return 42; }");
+        assert_eq!(r.outcome, Outcome::Exit { code: 42 });
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn arithmetic_and_loops_compute() {
+        let r = run(
+            "int main(void) {\n\
+               int sum = 0; int i = 1;\n\
+               while (i <= 10) { sum = sum + i; i = i + 1; }\n\
+               return sum;\n\
+             }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 55 });
+    }
+
+    #[test]
+    fn recursion_works_through_instrumented_returns() {
+        let r = run(
+            "int fib(int n) { if (n < 2) { return n; } int a = fib(n - 1); int b = fib(n - 2); return a + b; }\n\
+             int main(void) { return fib(12); }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 144 });
+        assert!(r.checks > 100, "every return runs a check transaction");
+    }
+
+    #[test]
+    fn indirect_calls_execute_when_types_match() {
+        let r = run(
+            "int twice(int x) { return x * 2; }\n\
+             int thrice(int x) { return x * 3; }\n\
+             int main(void) {\n\
+               int (*f)(int);\n\
+               f = &twice;\n\
+               int a = f(10);\n\
+               f = &thrice;\n\
+               int b = f(10);\n\
+               return a + b;\n\
+             }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 50 });
+    }
+
+    #[test]
+    fn stdout_is_captured() {
+        let r = run(
+            "int puts(char* s);\n\
+             int main(void) { puts(\"hello mcfi\"); return 0; }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 0 });
+        assert_eq!(r.stdout, "hello mcfi\n");
+    }
+
+    #[test]
+    fn print_int_formats_numbers() {
+        let r = run(
+            "int print_int(int x);\nint puts(char* s);\n\
+             int main(void) { print_int(-12345); puts(\"\"); print_int(0); return 0; }",
+        );
+        assert_eq!(r.stdout, "-12345\n0");
+    }
+
+    #[test]
+    fn malloc_provides_usable_memory() {
+        let r = run(
+            "void* malloc(int n);\n\
+             int main(void) {\n\
+               int* a = (int*)malloc(80);\n\
+               int i = 0;\n\
+               while (i < 10) { a[i] = i * i; i = i + 1; }\n\
+               return a[7];\n\
+             }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 49 });
+    }
+
+    #[test]
+    fn structs_and_function_pointer_fields() {
+        let r = run(
+            "struct ops { int (*apply)(int); int bias; };\n\
+             void* malloc(int n);\n\
+             int inc(int x) { return x + 1; }\n\
+             int main(void) {\n\
+               struct ops* o = (struct ops*)malloc(16);\n\
+               o->apply = &inc;\n\
+               o->bias = 5;\n\
+               int r = o->apply(10);\n\
+               return r + o->bias;\n\
+             }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 16 });
+    }
+
+    #[test]
+    fn switch_dispatch_via_jump_table() {
+        let r = run(
+            "int classify(int x) {\n\
+               switch (x) {\n\
+                 case 0: return 10;\n\
+                 case 1: return 20;\n\
+                 case 2: return 30;\n\
+                 case 3: return 40;\n\
+                 default: return -1;\n\
+               }\n\
+               return 0;\n\
+             }\n\
+             int main(void) { return classify(2) + classify(9); }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 29 });
+    }
+
+    #[test]
+    fn setjmp_longjmp_transfers_control() {
+        let r = run(
+            "int buf[8];\n\
+             void leap(void) { longjmp(buf, 7); }\n\
+             int main(void) {\n\
+               int v = setjmp(buf);\n\
+               if (v) { return v; }\n\
+               leap();\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 7 });
+    }
+
+    #[test]
+    fn float_arithmetic_round_trips() {
+        let r = run("int main(void) { float x = 2.5; float y = x * 4.0; return (int)y; }");
+        assert_eq!(r.outcome, Outcome::Exit { code: 10 });
+    }
+
+    #[test]
+    fn cfi_blocks_wrongly_typed_indirect_call() {
+        // K2-style round trip through void*: the call through an int(int)
+        // pointer actually targeting a float(float) function violates the
+        // type-matched CFG.
+        let r = run(
+            "float fsq(float x) { return x * x; }\n\
+             int main(void) {\n\
+               void* raw = (void*)&fsq;\n\
+               int (*f)(int) = (int(*)(int))raw;\n\
+               return f(3);\n\
+             }",
+        );
+        assert!(
+            matches!(r.outcome, Outcome::CfiViolation { .. }),
+            "expected violation, got {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn nocfi_allows_the_same_wrongly_typed_call() {
+        let opts = CodegenOptions { policy: Policy::NoCfi, tail_calls: true };
+        let mut p = boot_with(
+            "float fsq(float x) { return x * x; }\n\
+             int main(void) {\n\
+               void* raw = (void*)&fsq;\n\
+               int (*f)(int) = (int(*)(int))raw;\n\
+               int r = f(3);\n\
+               return 1;\n\
+             }",
+            &opts,
+        );
+        let r = p.run("__start").unwrap();
+        assert_eq!(r.outcome, Outcome::Exit { code: 1 }, "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn attacker_corrupting_return_address_is_caught() {
+        // The concurrent attacker overwrites the saved return address on
+        // the stack with a function entry (a classic ROP pivot). Under
+        // MCFI the return's check transaction halts the program.
+        let src = "int victim(int x) { return x + 1; }\n\
+                   int main(void) { int r = victim(1); int s = victim(r); return s; }";
+        let mut p = boot(src);
+        let target = p.symbol("main").unwrap();
+        let stack_lo = 0x40_0000 - 0x1_0000;
+        let r = p
+            .run_with_attacker("__start", move |_step, mem, regs| {
+                // Scribble over the top of the stack on every step: any
+                // saved return address becomes a pointer to main's entry.
+                let rsp = regs[4] as usize; // Rsp
+                if rsp >= stack_lo && rsp + 64 <= mem.len() {
+                    for w in (rsp..rsp + 64).step_by(8) {
+                        mem[w..w + 8].copy_from_slice(&target.to_le_bytes());
+                    }
+                }
+            })
+            .unwrap();
+        // main's entry is never a legal return target; MCFI halts.
+        assert!(
+            matches!(r.outcome, Outcome::CfiViolation { .. }),
+            "expected violation, got {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn dlopen_loads_library_and_updates_policy() {
+        let lib = compile("libplug", "int plug_value(int x) { return x * 11; }");
+        let src = "int dlopen(char* name);\n\
+                   void* dlsym(char* name);\n\
+                   int main(void) {\n\
+                     int ok = dlopen(\"libplug\");\n\
+                     if (!ok) { return -1; }\n\
+                     int (*f)(int) = (int(*)(int))dlsym(\"plug_value\");\n\
+                     if (!f) { return -2; }\n\
+                     return f(4);\n\
+                   }";
+        let mut p = boot(src);
+        p.register_library("libplug", lib);
+        let r = p.run("__start").unwrap();
+        assert_eq!(r.outcome, Outcome::Exit { code: 44 }, "stdout: {}", r.stdout);
+        assert!(r.updates >= 1, "dlopen must run an update transaction");
+    }
+
+    #[test]
+    fn dlopen_of_missing_library_fails_cleanly() {
+        let src = "int dlopen(char* name);\n\
+                   int main(void) { return dlopen(\"nope\"); }";
+        let r = {
+            let mut p = boot(src);
+            p.run("__start").unwrap()
+        };
+        assert_eq!(r.outcome, Outcome::Exit { code: 0 });
+    }
+
+    #[test]
+    fn plt_routed_call_works_after_dlopen() {
+        // The program calls an undefined function directly; the loader
+        // routes it through an instrumented PLT entry whose GOT slot is
+        // bound during dlopen's update transaction.
+        let lib = compile("libm2", "int provided(int x) { return x + 100; }");
+        let src = "int provided(int x);\n\
+                   int dlopen(char* name);\n\
+                   int main(void) {\n\
+                     int ok = dlopen(\"libm2\");\n\
+                     if (!ok) { return -1; }\n\
+                     int r = provided(5);\n\
+                     return r;\n\
+                   }";
+        let mut p = boot(src);
+        p.register_library("libm2", lib);
+        let r = p.run("__start").unwrap();
+        assert_eq!(r.outcome, Outcome::Exit { code: 105 }, "stdout: {}", r.stdout);
+    }
+
+    #[test]
+    fn plt_call_before_binding_is_a_violation() {
+        let src = "int provided(int x);\n\
+                   int main(void) { int r = provided(5); return r; }";
+        let mut p = boot(src);
+        let r = p.run("__start").unwrap();
+        assert!(matches!(r.outcome, Outcome::CfiViolation { .. }), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn execve_probe_records_reachability() {
+        let r = run(
+            "int execve(char* path);\n\
+             int main(void) { int r = execve(\"/bin/sh\"); return r; }",
+        );
+        assert!(r.execve_reached);
+    }
+
+    #[test]
+    fn concurrent_updater_thread_does_not_break_execution() {
+        // Fig. 6's mechanism: a real thread re-stamps all ID versions
+        // while the VM executes check transactions against the same
+        // atomics. Execution must stay correct (retries, not corruption).
+        let src = "int work(int x) { return x * 2 + 1; }\n\
+                   int main(void) {\n\
+                     int acc = 0; int i = 0;\n\
+                     int (*f)(int) = &work;\n\
+                     while (i < 20000) { acc = acc + f(i); i = i + 1; }\n\
+                     return acc % 97;\n\
+                   }";
+        let mut p = boot(src);
+        let tables = p.tables();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let updater = std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                tables.bump_version();
+                n += 1;
+                std::thread::yield_now();
+            }
+            n
+        });
+        let r = p.run("__start").unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let updates = updater.join().unwrap();
+        assert!(matches!(r.outcome, Outcome::Exit { .. }), "{:?}", r.outcome);
+        assert!(updates > 0);
+    }
+
+    #[test]
+    fn tail_call_heavy_code_executes_correctly() {
+        let r = run(
+            "int even(int n);\n\
+             int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }\n\
+             int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }\n\
+             int main(void) { return even(100) + odd(99); }",
+        );
+        assert_eq!(r.outcome, Outcome::Exit { code: 2 });
+    }
+
+    #[test]
+    fn for_loops_run_with_c_continue_semantics() {
+        let r = run(
+            "int main(void) {\n\
+               int s = 0;\n\
+               for (int i = 0; i < 10; i = i + 1) {\n\
+                 if (i % 2 == 0) { continue; }\n\
+                 s = s + i;\n\
+               }\n\
+               return s;\n\
+             }",
+        );
+        // 1 + 3 + 5 + 7 + 9 = 25: `continue` must still run the step.
+        assert_eq!(r.outcome, Outcome::Exit { code: 25 });
+    }
+
+    #[test]
+    fn loader_rejects_oversized_code() {
+        let mut opts = ProcessOptions::default();
+        opts.layout.code_limit = opts.layout.code_base + 256; // tiny code region
+        let mut p = Process::new(opts);
+        let libms = compile("libms", stdlib::LIBMS_SRC);
+        let err = p.load(libms).unwrap_err();
+        assert!(matches!(err, LoadError::OutOfSpace("code")), "{err}");
+    }
+
+    #[test]
+    fn loader_rejects_bary_overflow() {
+        let mut p = Process::new(ProcessOptions { bary_capacity: 1, ..Default::default() });
+        let m = compile("m", "int a(void) { return 1; }\nint b(void) { return 2; }");
+        let err = p.load(m).unwrap_err();
+        assert!(matches!(err, LoadError::BaryOverflow), "{err}");
+    }
+
+    #[test]
+    fn loader_rejects_unresolved_address_taken_import() {
+        // Taking the address of a function no loaded module defines cannot
+        // be deferred (there is no PLT for data relocations): load fails.
+        let mut p = Process::new(ProcessOptions::default());
+        let m = compile(
+            "m",
+            "int ghost(int x);\nint (*g)(int) = ghost;\nint main(void) { return 0; }",
+        );
+        let err = p.load(m).unwrap_err();
+        assert!(matches!(err, LoadError::Unresolved(ref n) if n == "ghost"), "{err}");
+    }
+
+    #[test]
+    fn step_limit_terminates_infinite_loops() {
+        let mut p = Process::new(ProcessOptions { max_steps: 10_000, ..Default::default() });
+        let stubs = synth::syscall_module();
+        let libms = compile("libms", stdlib::LIBMS_SRC);
+        let start = compile("start", stdlib::START_SRC);
+        let prog = compile("prog", "int main(void) { while (1) { } return 0; }");
+        p.load_all(vec![stubs, libms, start, prog]).unwrap();
+        let r = p.run("__start").unwrap();
+        assert_eq!(r.outcome, Outcome::StepLimit);
+    }
+}

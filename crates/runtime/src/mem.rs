@@ -1,0 +1,334 @@
+//! Sandboxed process memory with W^X region permissions.
+//!
+//! The MCFI runtime "enforces the invariant that no memory regions are
+//! both writable and executable at the same time" (paper §4). The
+//! sandbox models the low `[0, 4 GiB)` region the instrumentation masks
+//! writes into; in this reproduction its backing store is a smaller
+//! configurable buffer, with every access bounds- and permission-checked.
+
+use core::fmt;
+
+/// Region permissions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Perm {
+    /// Readable only.
+    R,
+    /// Readable and writable (never executable).
+    Rw,
+    /// Readable and executable (never writable).
+    Rx,
+}
+
+impl Perm {
+    /// Whether data writes are allowed.
+    pub fn writable(self) -> bool {
+        matches!(self, Perm::Rw)
+    }
+
+    /// Whether instruction fetch is allowed.
+    pub fn executable(self) -> bool {
+        matches!(self, Perm::Rx)
+    }
+}
+
+/// A permissioned address range `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Region {
+    /// Inclusive start.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+    /// Permission.
+    pub perm: Perm,
+}
+
+/// A memory fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemFault {
+    /// Access outside any mapped region.
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Write to a non-writable region.
+    WriteProtected {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Instruction fetch from a non-executable region.
+    ExecProtected {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// The requested mapping would be writable and executable.
+    WxViolation,
+    /// The backing store is exhausted.
+    OutOfMemory,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unmapped { addr } => write!(f, "unmapped access at {addr:#x}"),
+            MemFault::WriteProtected { addr } => write!(f, "write to protected {addr:#x}"),
+            MemFault::ExecProtected { addr } => write!(f, "execute from non-code {addr:#x}"),
+            MemFault::WxViolation => write!(f, "mapping would be writable and executable"),
+            MemFault::OutOfMemory => write!(f, "sandbox memory exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// The sandboxed memory image.
+#[derive(Debug)]
+pub struct Sandbox {
+    bytes: Vec<u8>,
+    regions: Vec<Region>,
+}
+
+impl Sandbox {
+    /// Creates a sandbox backed by `size` bytes (all initially unmapped).
+    pub fn new(size: usize) -> Self {
+        Sandbox { bytes: vec![0; size], regions: Vec::new() }
+    }
+
+    /// Total backing size.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Maps `[start, start+len)` with `perm`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the backing store or overlaps an
+    /// existing region.
+    pub fn map(&mut self, start: u64, len: u64, perm: Perm) -> Result<(), MemFault> {
+        let end = start.checked_add(len).ok_or(MemFault::OutOfMemory)?;
+        if end > self.bytes.len() as u64 {
+            return Err(MemFault::OutOfMemory);
+        }
+        if self.regions.iter().any(|r| start < r.end && r.start < end) {
+            return Err(MemFault::Unmapped { addr: start });
+        }
+        self.regions.push(Region { start, end, perm });
+        Ok(())
+    }
+
+    /// Changes the permission of an exactly matching region, enforcing
+    /// W^X (this is the `mprotect` interposition check of §7 — a region
+    /// can never become writable and executable).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no region matches exactly.
+    pub fn protect(&mut self, start: u64, perm: Perm) -> Result<(), MemFault> {
+        let r = self
+            .regions
+            .iter_mut()
+            .find(|r| r.start == start)
+            .ok_or(MemFault::Unmapped { addr: start })?;
+        r.perm = perm;
+        Ok(())
+    }
+
+    /// The region containing `addr`.
+    pub fn region_of(&self, addr: u64) -> Option<Region> {
+        self.regions.iter().copied().find(|r| r.start <= addr && addr < r.end)
+    }
+
+    /// All regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    fn check(&self, addr: u64, len: u64, write: bool) -> Result<(), MemFault> {
+        let end = addr.checked_add(len).ok_or(MemFault::Unmapped { addr })?;
+        let r = self.region_of(addr).ok_or(MemFault::Unmapped { addr })?;
+        if end > r.end {
+            return Err(MemFault::Unmapped { addr: r.end });
+        }
+        if write && !r.perm.writable() {
+            return Err(MemFault::WriteProtected { addr });
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault on unmapped access.
+    pub fn read8(&self, addr: u64) -> Result<u8, MemFault> {
+        self.check(addr, 1, false)?;
+        Ok(self.bytes[addr as usize])
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault on unmapped access.
+    pub fn read64(&self, addr: u64) -> Result<u64, MemFault> {
+        self.check(addr, 8, false)?;
+        let a = addr as usize;
+        Ok(u64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes")))
+    }
+
+    /// Writes one byte (permission-checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault on unmapped or protected access.
+    pub fn write8(&mut self, addr: u64, v: u8) -> Result<(), MemFault> {
+        self.check(addr, 1, true)?;
+        self.bytes[addr as usize] = v;
+        Ok(())
+    }
+
+    /// Writes a little-endian u64 (permission-checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault on unmapped or protected access.
+    pub fn write64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.check(addr, 8, true)?;
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Verifies `addr` may be fetched as code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::ExecProtected`] for data addresses.
+    pub fn check_exec(&self, addr: u64) -> Result<(), MemFault> {
+        let r = self.region_of(addr).ok_or(MemFault::Unmapped { addr })?;
+        if !r.perm.executable() {
+            return Err(MemFault::ExecProtected { addr });
+        }
+        Ok(())
+    }
+
+    /// Copies bytes in, bypassing permissions — loader-only (the runtime
+    /// writes code while the region is still `Rw`, then flips it to `Rx`).
+    pub fn load_image(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let end = addr as usize + bytes.len();
+        if end > self.bytes.len() {
+            return Err(MemFault::OutOfMemory);
+        }
+        self.bytes[addr as usize..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string (for syscall arguments).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault on unmapped access or strings longer than 4 KiB.
+    pub fn read_cstr(&self, addr: u64) -> Result<String, MemFault> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.read8(a)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+            a += 1;
+            if out.len() > 4096 {
+                return Err(MemFault::Unmapped { addr: a });
+            }
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    /// Raw view of the backing store (used by the attacker thread in the
+    /// threat model: "the attacker can corrupt writable memory between
+    /// any two instructions", §4).
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Raw read-only view.
+    pub fn raw(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_and_rw_round_trip() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0x100, 0x100, Perm::Rw).unwrap();
+        m.write64(0x100, 0xdead_beef).unwrap();
+        assert_eq!(m.read64(0x100).unwrap(), 0xdead_beef);
+        m.write8(0x1ff, 7).unwrap();
+        assert_eq!(m.read8(0x1ff).unwrap(), 7);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Sandbox::new(0x1000);
+        assert!(matches!(m.read8(0x10), Err(MemFault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn writes_to_code_fault() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0, 0x100, Perm::Rx).unwrap();
+        assert!(matches!(m.write8(0x10, 1), Err(MemFault::WriteProtected { .. })));
+        assert!(m.check_exec(0x10).is_ok());
+    }
+
+    #[test]
+    fn execution_from_data_faults() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0, 0x100, Perm::Rw).unwrap();
+        assert!(matches!(m.check_exec(0x10), Err(MemFault::ExecProtected { .. })));
+    }
+
+    #[test]
+    fn regions_cannot_overlap() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0, 0x100, Perm::Rw).unwrap();
+        assert!(m.map(0x80, 0x100, Perm::R).is_err());
+    }
+
+    #[test]
+    fn access_straddling_region_end_faults() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0, 0x10, Perm::Rw).unwrap();
+        assert!(m.read64(0xc).is_err());
+        assert!(m.write64(0xc, 1).is_err());
+    }
+
+    #[test]
+    fn protect_flips_permissions() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0, 0x100, Perm::Rw).unwrap();
+        m.load_image(0, &[1, 2, 3]).unwrap();
+        m.protect(0, Perm::Rx).unwrap();
+        assert!(m.check_exec(0).is_ok());
+        assert!(m.write8(0, 9).is_err());
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0, 0x100, Perm::Rw).unwrap();
+        m.load_image(0x10, b"hello\0").unwrap();
+        assert_eq!(m.read_cstr(0x10).unwrap(), "hello");
+    }
+
+    #[test]
+    fn out_of_backing_mapping_fails() {
+        let mut m = Sandbox::new(0x100);
+        assert!(matches!(m.map(0x80, 0x100, Perm::Rw), Err(MemFault::OutOfMemory)));
+    }
+}

@@ -1,0 +1,848 @@
+//! The MCFI process: loader, dynamic linker, syscall interposition, and
+//! the execution loop.
+//!
+//! Loading a library follows the paper's three dynamic-linking steps
+//! (§6): **module preparation** (code mapped writable, relocated, Bary
+//! slots patched, then flipped to executable — W^X throughout), **new
+//! CFG generation** (type-matching over the union of all loaded modules'
+//! auxiliary information), and **ID-table updates** (one `TxUpdate`, with
+//! GOT adjustments between the Tary and Bary phases).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mcfi_cfggen::{generate, ControlFlowPolicy, Placed};
+use mcfi_minic::types::TypeEnv;
+use mcfi_linker::build_plt_stub;
+use mcfi_module::{Module, RelocKind};
+use mcfi_tables::{IdTables, TablesConfig};
+
+use crate::mem::{Perm, Sandbox};
+use crate::synth::Sys;
+use crate::vm::{Event, Vm, VmError};
+
+/// Address-space layout of a process.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// First code address.
+    pub code_base: u64,
+    /// Exclusive end of the code region (also sizes the Tary table).
+    pub code_limit: u64,
+    /// First data address.
+    pub data_base: u64,
+    /// Exclusive end of static data + GOT area; heap begins here.
+    pub heap_base: u64,
+    /// Exclusive end of the heap.
+    pub heap_limit: u64,
+    /// Stack top (stack grows down from here).
+    pub stack_top: u64,
+    /// Stack size in bytes.
+    pub stack_size: u64,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout {
+            code_base: 0x1000,
+            code_limit: 0x10_0000,  // 1 MiB of code
+            data_base: 0x10_0000,
+            heap_base: 0x18_0000,
+            heap_limit: 0x3e_0000,
+            stack_top: 0x40_0000, // 4 MiB sandbox
+            stack_size: 0x1_0000,
+        }
+    }
+}
+
+/// Process construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessOptions {
+    /// Address-space layout.
+    pub layout: Layout,
+    /// Maximum executed instructions before aborting.
+    pub max_steps: u64,
+    /// Maximum Bary slots (indirect branches) across all loaded modules.
+    pub bary_capacity: usize,
+}
+
+impl Default for ProcessOptions {
+    fn default() -> Self {
+        ProcessOptions { layout: Layout::default(), max_steps: 500_000_000, bary_capacity: 1 << 16 }
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// The program called `exit`.
+    Exit {
+        /// Exit code.
+        code: i64,
+    },
+    /// A check transaction halted the program: a CFI violation.
+    CfiViolation {
+        /// Address of the `hlt`.
+        pc: u64,
+    },
+    /// A hardware-level fault (memory, decode, division).
+    Fault(String),
+    /// The step budget ran out.
+    StepLimit,
+}
+
+/// The result of running a program.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Why execution ended.
+    pub outcome: Outcome,
+    /// Everything written to fd 1.
+    pub stdout: String,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Check transactions started (retries included).
+    pub checks: u64,
+    /// Indirect branches taken.
+    pub indirect_taken: u64,
+    /// Whether control ever reached `execve` (the §8.3 case study probe).
+    pub execve_reached: bool,
+    /// Update transactions executed during the run (dlopens).
+    pub updates: u64,
+}
+
+/// A loading/linking failure.
+#[derive(Clone, Debug)]
+pub enum LoadError {
+    /// The regions are exhausted.
+    OutOfSpace(&'static str),
+    /// An absolute-address relocation referenced an undefined symbol.
+    Unresolved(String),
+    /// Type environments of modules clash.
+    TypeClash(String),
+    /// Too many indirect branches for the configured Bary capacity.
+    BaryOverflow,
+    /// A memory operation failed during loading.
+    Mem(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::OutOfSpace(what) => write!(f, "{what} region exhausted"),
+            LoadError::Unresolved(s) => write!(f, "unresolved symbol `{s}`"),
+            LoadError::TypeClash(s) => write!(f, "type clash: {s}"),
+            LoadError::BaryOverflow => write!(f, "bary capacity exceeded"),
+            LoadError::Mem(s) => write!(f, "loader memory fault: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+struct LoadedModule {
+    module: Module,
+    code_base: u64,
+    data_base: u64,
+}
+
+/// An MCFI process: sandboxed memory, shared ID tables, loaded modules,
+/// GOT/PLT state, and the trusted runtime services.
+pub struct Process {
+    opts: ProcessOptions,
+    mem: Sandbox,
+    tables: Arc<IdTables>,
+    modules: Vec<LoadedModule>,
+    registry: HashMap<String, Module>,
+    /// symbol -> GOT slot address (for PLT-routed imports).
+    got: BTreeMap<String, u64>,
+    /// symbol -> PLT stub entry address.
+    plt: BTreeMap<String, u64>,
+    next_code: u64,
+    next_data: u64,
+    got_next: u64,
+    brk: u64,
+    total_slots: usize,
+    /// Union of all loaded modules' type environments, grown at load time
+    /// so clashes surface as load errors (not CFG-generation panics).
+    env: TypeEnv,
+    stdout: Vec<u8>,
+    execve_reached: bool,
+    updates: u64,
+    /// Published cycle counter (for external updater threads).
+    cycles_shared: Arc<AtomicU64>,
+}
+
+impl Process {
+    /// Creates an empty process.
+    pub fn new(opts: ProcessOptions) -> Self {
+        let l = opts.layout;
+        let mut mem = Sandbox::new(l.stack_top as usize);
+        mem.map(l.data_base, l.heap_limit - l.data_base, Perm::Rw)
+            .expect("data region fits the sandbox");
+        mem.map(l.stack_top - l.stack_size, l.stack_size, Perm::Rw)
+            .expect("stack region fits the sandbox");
+        let tables = Arc::new(IdTables::new(TablesConfig {
+            code_size: l.code_limit as usize,
+            bary_slots: opts.bary_capacity,
+        }));
+        // Reserve a GOT area at the start of the data region.
+        let got_area = l.data_base;
+        Process {
+            opts,
+            mem,
+            tables,
+            modules: Vec::new(),
+            registry: HashMap::new(),
+            got: BTreeMap::new(),
+            plt: BTreeMap::new(),
+            next_code: l.code_base,
+            next_data: got_area + 0x1000, // 4 KiB of GOT slots
+            got_next: got_area,
+            brk: l.heap_base,
+            total_slots: 0,
+            env: TypeEnv::new(),
+            stdout: Vec::new(),
+            execve_reached: false,
+            updates: 0,
+            cycles_shared: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The shared ID tables (hand these to an updater thread to exercise
+    /// concurrent update transactions, as in Fig. 6).
+    pub fn tables(&self) -> Arc<IdTables> {
+        Arc::clone(&self.tables)
+    }
+
+    /// A live view of the VM's cycle counter, updated during runs.
+    pub fn cycle_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.cycles_shared)
+    }
+
+    /// Registers a module that `dlopen` can load later (the "file system"
+    /// of loadable libraries).
+    pub fn register_library(&mut self, file_name: &str, module: Module) {
+        self.registry.insert(file_name.to_string(), module);
+    }
+
+    /// Loaded modules' names and code bases (diagnostics).
+    pub fn loaded(&self) -> Vec<(String, u64)> {
+        self.modules.iter().map(|m| (m.module.name.clone(), m.code_base)).collect()
+    }
+
+    /// The sandbox (for verifier access and attack simulations).
+    pub fn mem(&self) -> &Sandbox {
+        &self.mem
+    }
+
+    /// Resolves a global variable to its absolute data address.
+    pub fn global(&self, name: &str) -> Option<u64> {
+        for lm in &self.modules {
+            if let Some(g) = lm.module.globals.get(name) {
+                return Some(lm.data_base + g.offset as u64);
+            }
+        }
+        None
+    }
+
+    /// The loaded modules with their code bases, for policy generation by
+    /// external tooling (e.g. installing a baseline policy).
+    pub fn placed_modules(&self) -> Vec<Placed<'_>> {
+        self.modules
+            .iter()
+            .map(|lm| Placed { module: &lm.module, code_base: lm.code_base })
+            .collect()
+    }
+
+    /// Replaces the enforced policy with an externally generated one via
+    /// a fresh update transaction — used to run the same binary under
+    /// classic or coarse CFI for the §8.3 comparisons.
+    pub fn install_custom_policy(&mut self, policy: &ControlFlowPolicy) {
+        let tary = |addr: u64| policy.tary.get(&addr).copied();
+        let bary = |slot: usize| policy.bary.get(slot).map(|b| b.ecn);
+        self.tables.update_with(tary, bary, || {});
+        self.updates += 1;
+    }
+
+    /// Resolves an exported function to its absolute address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        for lm in &self.modules {
+            if let Some(f) = lm.module.functions.get(name) {
+                if f.size > 0 && !f.is_static {
+                    return Some(lm.code_base + f.offset as u64);
+                }
+            }
+        }
+        None
+    }
+
+    fn resolve_func(&self, module_idx: usize, name: &str) -> Option<u64> {
+        let own = &self.modules[module_idx];
+        if let Some(f) = own.module.functions.get(name) {
+            if f.size > 0 {
+                return Some(own.code_base + f.offset as u64);
+            }
+        }
+        for lm in &self.modules {
+            if let Some(f) = lm.module.functions.get(name) {
+                if f.size > 0 && !f.is_static {
+                    return Some(lm.code_base + f.offset as u64);
+                }
+            }
+        }
+        None
+    }
+
+    fn resolve_global(&self, module_idx: usize, name: &str) -> Option<u64> {
+        let own = &self.modules[module_idx];
+        if let Some(g) = own.module.globals.get(name) {
+            return Some(own.data_base + g.offset as u64);
+        }
+        if name.starts_with("__str") {
+            return None; // string-pool globals are module-private
+        }
+        for lm in &self.modules {
+            if let Some(g) = lm.module.globals.get(name) {
+                return Some(lm.data_base + g.offset as u64);
+            }
+        }
+        None
+    }
+
+    /// Loads a module into the process and installs the new CFG.
+    ///
+    /// # Errors
+    ///
+    /// Fails on exhausted regions, unresolved absolute relocations, or
+    /// type clashes.
+    pub fn load(&mut self, module: Module) -> Result<(), LoadError> {
+        self.load_no_update(module)?;
+        self.install_policy();
+        Ok(())
+    }
+
+    /// Loads several modules, then installs the CFG once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Process::load`].
+    pub fn load_all(&mut self, modules: Vec<Module>) -> Result<(), LoadError> {
+        for m in modules {
+            self.load_no_update(m)?;
+        }
+        self.install_policy();
+        Ok(())
+    }
+
+    fn alloc_code(&mut self, len: usize) -> Result<u64, LoadError> {
+        let base = (self.next_code + 15) & !15;
+        let end = base + len as u64;
+        if end > self.opts.layout.code_limit {
+            return Err(LoadError::OutOfSpace("code"));
+        }
+        self.next_code = end;
+        Ok(base)
+    }
+
+    fn load_no_update(&mut self, module: Module) -> Result<(), LoadError> {
+        // The union of auxiliary type information must be consistent
+        // before any state changes (paper §6: merging is a union).
+        self.env
+            .merge(&module.aux.env)
+            .map_err(|e| LoadError::TypeClash(e.to_string()))?;
+
+        // --- step 1: module preparation ---
+        let code_base = self.alloc_code(module.code.len().max(4))?;
+        let data_base = (self.next_data + 15) & !15;
+        let data_end = data_base + module.data.len() as u64;
+        if data_end > self.opts.layout.heap_base {
+            return Err(LoadError::OutOfSpace("data"));
+        }
+        self.next_data = data_end;
+
+        // Code pages start writable but not executable (§6 step 1).
+        self.mem
+            .map(code_base, module.code.len().max(4) as u64, Perm::Rw)
+            .map_err(|e| LoadError::Mem(e.to_string()))?;
+        self.mem
+            .load_image(code_base, &module.code)
+            .map_err(|e| LoadError::Mem(e.to_string()))?;
+        if !module.data.is_empty() {
+            self.mem
+                .load_image(data_base, &module.data)
+                .map_err(|e| LoadError::Mem(e.to_string()))?;
+        }
+
+        let module_idx = self.modules.len();
+        self.modules.push(LoadedModule { module, code_base, data_base });
+
+        // Assign global Bary slots and patch the BaryLoad immediates
+        // ("the loader patches the code to embed constant Bary table
+        // indexes", §5.1).
+        let branch_count = self.modules[module_idx].module.aux.indirect_branches.len();
+        if self.total_slots + branch_count > self.opts.bary_capacity {
+            return Err(LoadError::BaryOverflow);
+        }
+        for bi in 0..branch_count {
+            let check_offset = self.modules[module_idx].module.aux.indirect_branches[bi].check_offset;
+            let slot = (self.total_slots + bi) as u32;
+            let at = code_base + check_offset as u64 + 2;
+            for (k, byte) in slot.to_le_bytes().into_iter().enumerate() {
+                self.mem
+                    .write8(at + k as u64, byte)
+                    .map_err(|e| LoadError::Mem(e.to_string()))?;
+            }
+        }
+        self.total_slots += branch_count;
+
+        // Apply code relocations.
+        let relocs = self.modules[module_idx].module.relocs.clone();
+        for r in &relocs {
+            self.apply_reloc(module_idx, code_base, r.patch_at, &r.kind, false)?;
+        }
+        // Fill jump tables with absolute entry addresses.
+        let tables_info = self.modules[module_idx].module.aux.jump_tables.clone();
+        for t in &tables_info {
+            for (i, entry) in t.entries.iter().enumerate() {
+                let at = code_base + t.table_offset as u64 + (i as u64) * 8;
+                let target = code_base + *entry as u64;
+                self.write64_loader(at, target)?;
+            }
+        }
+        // Apply data relocations.
+        let data_relocs = self.modules[module_idx].module.data_relocs.clone();
+        for r in &data_relocs {
+            self.apply_reloc(module_idx, data_base, r.patch_at, &r.kind, true)?;
+        }
+
+        // Code pages become executable and non-writable (§6 step 2 end).
+        self.mem
+            .protect(code_base, Perm::Rx)
+            .map_err(|e| LoadError::Mem(e.to_string()))?;
+
+        // Bind GOT entries for any imports this module satisfies. The
+        // values are written during the next update transaction (between
+        // the Tary and Bary phases), so stash them.
+        Ok(())
+    }
+
+    fn write64_loader(&mut self, addr: u64, v: u64) -> Result<(), LoadError> {
+        self.mem
+            .load_image(addr, &v.to_le_bytes())
+            .map_err(|e| LoadError::Mem(e.to_string()))
+    }
+
+    fn apply_reloc(
+        &mut self,
+        module_idx: usize,
+        base: u64,
+        patch_at: usize,
+        kind: &RelocKind,
+        is_data: bool,
+    ) -> Result<(), LoadError> {
+        let at = base + patch_at as u64;
+        match kind {
+            RelocKind::FuncAbs(n) => {
+                let addr = self
+                    .resolve_func(module_idx, n)
+                    .ok_or_else(|| LoadError::Unresolved(n.clone()))?;
+                self.write64_loader(at, addr)?;
+            }
+            RelocKind::GlobalAbs(n) => {
+                let addr = self
+                    .resolve_global(module_idx, n)
+                    .ok_or_else(|| LoadError::Unresolved(n.clone()))?;
+                self.write64_loader(at, addr)?;
+            }
+            RelocKind::CodeAbs(o) => {
+                let code_base = self.modules[module_idx].code_base;
+                self.write64_loader(at, code_base + o)?;
+            }
+            RelocKind::JumpTable(i) => {
+                let lm = &self.modules[module_idx];
+                let t = lm
+                    .module
+                    .aux
+                    .jump_tables
+                    .get(*i as usize)
+                    .ok_or_else(|| LoadError::Unresolved(format!("jump table {i}")))?;
+                let addr = (lm.code_base + t.table_offset as u64) as u32;
+                self.mem
+                    .load_image(at, &addr.to_le_bytes())
+                    .map_err(|e| LoadError::Mem(e.to_string()))?;
+            }
+            RelocKind::GotSlot(n) => {
+                let slot = self.got_slot(n)?;
+                self.write64_loader(at, slot)?;
+            }
+            RelocKind::CallRel(n) => {
+                debug_assert!(!is_data, "direct calls cannot live in data");
+                let target = match self.resolve_func(module_idx, n) {
+                    Some(t) => t,
+                    None => self.plt_entry(n)?, // route through the PLT
+                };
+                let rel = (target as i64 - (at as i64 + 4)) as i32;
+                self.mem
+                    .load_image(at, &rel.to_le_bytes())
+                    .map_err(|e| LoadError::Mem(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn got_slot(&mut self, symbol: &str) -> Result<u64, LoadError> {
+        if let Some(&s) = self.got.get(symbol) {
+            return Ok(s);
+        }
+        let slot = self.got_next;
+        if slot + 8 > self.opts.layout.data_base + 0x1000 {
+            return Err(LoadError::OutOfSpace("GOT"));
+        }
+        self.got_next += 8;
+        self.got.insert(symbol.to_string(), slot);
+        Ok(slot)
+    }
+
+    /// Synthesizes (or reuses) the MCFI-instrumented PLT entry for an
+    /// unresolved import.
+    fn plt_entry(&mut self, symbol: &str) -> Result<u64, LoadError> {
+        if let Some(&addr) = self.plt.get(symbol) {
+            return Ok(addr);
+        }
+        let got = self.got_slot(symbol)?;
+        let stub = build_plt_stub(symbol, got);
+        let code_base = self.alloc_code(stub.code.len())?;
+        self.mem
+            .map(code_base, stub.code.len() as u64, Perm::Rw)
+            .map_err(|e| LoadError::Mem(e.to_string()))?;
+        self.mem
+            .load_image(code_base, &stub.code)
+            .map_err(|e| LoadError::Mem(e.to_string()))?;
+        // The stub is a one-branch pseudo-module participating in CFG
+        // generation like any other module.
+        let mut m = Module::new(format!("__plt_{symbol}"));
+        m.code = stub.code.clone();
+        let mut branch = stub.branch.clone();
+        branch.local_slot = 0;
+        m.aux.indirect_branches.push(branch);
+        if self.total_slots + 1 > self.opts.bary_capacity {
+            return Err(LoadError::BaryOverflow);
+        }
+        let slot = self.total_slots as u32;
+        self.total_slots += 1;
+        let at = code_base + stub.branch.check_offset as u64 + 2;
+        for (k, byte) in slot.to_le_bytes().into_iter().enumerate() {
+            self.mem
+                .write8(at + k as u64, byte)
+                .map_err(|e| LoadError::Mem(e.to_string()))?;
+        }
+        self.mem
+            .protect(code_base, Perm::Rx)
+            .map_err(|e| LoadError::Mem(e.to_string()))?;
+        self.modules.push(LoadedModule { module: m, code_base, data_base: 0 });
+        self.plt.insert(symbol.to_string(), code_base);
+        Ok(code_base)
+    }
+
+    /// Marks an exported function as address-taken (e.g. after `dlsym`
+    /// hands out its address). Returns whether anything changed.
+    fn mark_address_taken(&mut self, name: &str) -> bool {
+        for lm in &mut self.modules {
+            if let Some(f) = lm.module.functions.get_mut(name) {
+                if f.size > 0 && !f.is_static && !f.address_taken {
+                    f.address_taken = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Regenerates the CFG over all loaded modules and runs the update
+    /// transaction, adjusting GOT entries between the two table phases.
+    fn install_policy(&mut self) {
+        let placed: Vec<Placed<'_>> = self
+            .modules
+            .iter()
+            .map(|lm| Placed { module: &lm.module, code_base: lm.code_base })
+            .collect();
+        let policy: ControlFlowPolicy = generate(&placed);
+
+        // GOT bindings resolvable now.
+        let mut got_writes: Vec<(u64, u64)> = Vec::new();
+        for (symbol, slot) in &self.got {
+            if let Some(addr) = self.symbol(symbol) {
+                got_writes.push((*slot, addr));
+            }
+        }
+
+        let tary = |addr: u64| policy.tary.get(&addr).copied();
+        let bary = |slot: usize| policy.bary.get(slot).map(|b| b.ecn);
+        let mem = &mut self.mem;
+        self.tables.update_with(tary, bary, || {
+            for (slot, addr) in &got_writes {
+                mem.load_image(*slot, &addr.to_le_bytes())
+                    .expect("GOT slots live in the mapped data region");
+            }
+        });
+        self.updates += 1;
+    }
+
+    /// The current control-flow policy (regenerated on demand, for
+    /// statistics and the security metrics).
+    pub fn current_policy(&self) -> ControlFlowPolicy {
+        let placed: Vec<Placed<'_>> = self
+            .modules
+            .iter()
+            .map(|lm| Placed { module: &lm.module, code_base: lm.code_base })
+            .collect();
+        generate(&placed)
+    }
+
+    /// Runs exported function `entry` (typically `__start`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `entry` is not an exported function of a loaded module.
+    pub fn run(&mut self, entry: &str) -> Result<RunResult, LoadError> {
+        self.run_with_attacker(entry, |_, _, _| {})
+    }
+
+    /// Runs `entry` under the paper's concurrent-attacker model (§4): the
+    /// `attacker` callback fires between consecutive instructions and may
+    /// corrupt any writable sandbox memory (it is given the raw backing
+    /// store, the registers, and the step count). Registers themselves
+    /// are not directly modifiable — exactly the paper's threat model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `entry` is not an exported function of a loaded module.
+    pub fn run_with_attacker(
+        &mut self,
+        entry: &str,
+        mut attacker: impl FnMut(u64, &mut [u8], &[u64; 16]),
+    ) -> Result<RunResult, LoadError> {
+        let pc = self.symbol(entry).ok_or_else(|| LoadError::Unresolved(entry.to_string()))?;
+        let mut vm = Vm::new(pc);
+        vm.regs[mcfi_machine::Reg::Rsp.nibble() as usize] = self.opts.layout.stack_top;
+        self.stdout.clear();
+        self.execve_reached = false;
+        let start_updates = self.updates;
+
+        let outcome = loop {
+            if vm.stats.steps >= self.opts.max_steps {
+                break Outcome::StepLimit;
+            }
+            attacker(vm.stats.steps, self.mem.raw_mut(), &vm.regs);
+            if vm.stats.steps.is_multiple_of(1024) {
+                self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
+            }
+            match vm.step(&mut self.mem, &self.tables) {
+                Ok(Event::Continue) => {}
+                Ok(Event::Halt { pc }) => break Outcome::CfiViolation { pc },
+                Ok(Event::Syscall) => match self.syscall(&mut vm) {
+                    SysOutcome::Continue => {}
+                    SysOutcome::Exit(code) => break Outcome::Exit { code },
+                    SysOutcome::Fault(msg) => break Outcome::Fault(msg),
+                },
+                Err(VmError::StepLimit) => break Outcome::StepLimit,
+                Err(e) => break Outcome::Fault(e.to_string()),
+            }
+        };
+        self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
+
+        Ok(RunResult {
+            outcome,
+            stdout: String::from_utf8_lossy(&self.stdout).into_owned(),
+            steps: vm.stats.steps,
+            cycles: vm.stats.cycles,
+            checks: vm.stats.checks,
+            indirect_taken: vm.stats.indirect_taken,
+            execve_reached: self.execve_reached,
+            updates: self.updates - start_updates,
+        })
+    }
+
+    /// Runs `entry` with update transactions scripted at exact simulated
+    /// intervals: every `interval` cycles, a version re-stamp performs its
+    /// Tary phase, the VM executes `duration` further cycles against the
+    /// mixed-version tables (check transactions retry, exactly as in the
+    /// paper's Fig. 6 experiment), and then the Bary phase commits.
+    ///
+    /// Deterministic: the same program yields the same cycle count on any
+    /// host, unlike a free-running updater thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `entry` is not an exported function of a loaded module.
+    pub fn run_with_updates(
+        &mut self,
+        entry: &str,
+        interval: u64,
+        duration: u64,
+    ) -> Result<RunResult, LoadError> {
+        let pc = self.symbol(entry).ok_or_else(|| LoadError::Unresolved(entry.to_string()))?;
+        let mut vm = Vm::new(pc);
+        vm.regs[mcfi_machine::Reg::Rsp.nibble() as usize] = self.opts.layout.stack_top;
+        self.stdout.clear();
+        self.execve_reached = false;
+        let start_updates = self.updates;
+
+        let tables = Arc::clone(&self.tables);
+        let mut next_update = interval;
+        let mut in_flight: Option<mcfi_tables::SplitBump<'_>> = None;
+        let mut commit_at = 0u64;
+
+        let outcome = loop {
+            if vm.stats.steps >= self.opts.max_steps {
+                break Outcome::StepLimit;
+            }
+            if in_flight.is_some() {
+                if vm.stats.cycles >= commit_at {
+                    in_flight.take().expect("checked is_some").finish();
+                    self.updates += 1;
+                    next_update += interval;
+                }
+            } else if vm.stats.cycles >= next_update {
+                in_flight = Some(tables.bump_version_split());
+                commit_at = vm.stats.cycles + duration;
+            }
+            match vm.step(&mut self.mem, &self.tables) {
+                Ok(Event::Continue) => {}
+                Ok(Event::Halt { pc }) => break Outcome::CfiViolation { pc },
+                Ok(Event::Syscall) => match self.syscall(&mut vm) {
+                    SysOutcome::Continue => {}
+                    SysOutcome::Exit(code) => break Outcome::Exit { code },
+                    SysOutcome::Fault(msg) => break Outcome::Fault(msg),
+                },
+                Err(VmError::StepLimit) => break Outcome::StepLimit,
+                Err(e) => break Outcome::Fault(e.to_string()),
+            }
+        };
+        if let Some(b) = in_flight.take() {
+            b.finish();
+            self.updates += 1;
+        }
+        self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
+
+        Ok(RunResult {
+            outcome,
+            stdout: String::from_utf8_lossy(&self.stdout).into_owned(),
+            steps: vm.stats.steps,
+            cycles: vm.stats.cycles,
+            checks: vm.stats.checks,
+            indirect_taken: vm.stats.indirect_taken,
+            execve_reached: self.execve_reached,
+            updates: self.updates - start_updates,
+        })
+    }
+
+    fn syscall(&mut self, vm: &mut Vm) -> SysOutcome {
+        use mcfi_machine::Reg;
+        let num = vm.regs[Reg::Rax.nibble() as usize];
+        let a = vm.regs[Reg::R8.nibble() as usize];
+        let b = vm.regs[Reg::R9.nibble() as usize];
+        let c = vm.regs[Reg::R10.nibble() as usize];
+        let ret = if num == Sys::Exit as u64 {
+            return SysOutcome::Exit(a as i64);
+        } else if num == Sys::Write as u64 {
+            if a == 1 {
+                for i in 0..c {
+                    match self.mem.read8(b + i) {
+                        Ok(byte) => self.stdout.push(byte),
+                        Err(e) => return SysOutcome::Fault(e.to_string()),
+                    }
+                }
+                c
+            } else {
+                u64::MAX // only stdout exists
+            }
+        } else if num == Sys::Sbrk as u64 {
+            let delta = a as i64;
+            let new = self.brk.wrapping_add(delta as u64);
+            if new > self.opts.layout.heap_limit || new < self.opts.layout.heap_base {
+                0
+            } else {
+                let old = self.brk;
+                self.brk = new;
+                old
+            }
+        } else if num == Sys::Mmap as u64 {
+            // Interposition check: "the newly mapped memory cannot be both
+            // writable and executable" (§7). Prot bits: 1=R 2=W 4=X.
+            let prot = b;
+            if prot & 0x2 != 0 && prot & 0x4 != 0 {
+                u64::MAX // refused: W^X
+            } else {
+                // Only plain RW anonymous mappings are provided, carved
+                // from the heap like sbrk.
+                let len = (a + 4095) & !4095;
+                let new = self.brk + len;
+                if new > self.opts.layout.heap_limit {
+                    u64::MAX
+                } else {
+                    let old = self.brk;
+                    self.brk = new;
+                    old
+                }
+            }
+        } else if num == Sys::Mprotect as u64 {
+            // A similar restriction is placed on mprotect (§7): requests
+            // that would make memory writable and executable are refused.
+            let prot = b;
+            if prot & 0x2 != 0 && prot & 0x4 != 0 {
+                u64::MAX
+            } else {
+                0
+            }
+        } else if num == Sys::Dlopen as u64 {
+            match self.mem.read_cstr(a) {
+                Ok(name) => match self.registry.remove(&name) {
+                    Some(module) => match self.load(module) {
+                        Ok(()) => 1,
+                        Err(e) => return SysOutcome::Fault(e.to_string()),
+                    },
+                    None => 0,
+                },
+                Err(e) => return SysOutcome::Fault(e.to_string()),
+            }
+        } else if num == Sys::Dlsym as u64 {
+            match self.mem.read_cstr(a) {
+                Ok(name) => match self.symbol(&name) {
+                    Some(addr) => {
+                        // Handing out a function's address makes it an
+                        // indirect-call target: mark it address-taken and
+                        // install the (possibly) widened CFG with a fresh
+                        // update transaction.
+                        if self.mark_address_taken(&name) {
+                            self.install_policy();
+                        }
+                        addr
+                    }
+                    None => 0,
+                },
+                Err(e) => return SysOutcome::Fault(e.to_string()),
+            }
+        } else if num == Sys::Cycles as u64 {
+            vm.stats.cycles
+        } else if num == Sys::Execve as u64 {
+            // The dangerous syscall of the GnuPG case study: the runtime
+            // records that control reached it, then refuses.
+            self.execve_reached = true;
+            u64::MAX
+        } else {
+            return SysOutcome::Fault(format!("unknown syscall {num}"));
+        };
+        vm.regs[Reg::Rax.nibble() as usize] = ret;
+        SysOutcome::Continue
+    }
+}
+
+enum SysOutcome {
+    Continue,
+    Exit(i64),
+    Fault(String),
+}

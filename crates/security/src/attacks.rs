@@ -1,0 +1,136 @@
+//! End-to-end attack scenarios (paper §8.3).
+//!
+//! The paper's case study: CVE-2006-6235 lets a remote attacker control a
+//! function pointer in GnuPG and jump to `execve`, whose address is taken
+//! once GnuPG is linked against MUSL. "This kind of attacks may still be
+//! possible under coarse-grained CFI, but not fine-grained CFI … If
+//! protected by MCFI, the function pointer cannot be used to jump to
+//! `execve` because their types do not match."
+//!
+//! [`run_fptr_hijack`] reproduces the scenario end to end: a program with
+//! a `void (*)(int)` logger pointer, a concurrent attacker that overwrites
+//! the pointer with `execve`'s address, and a policy knob selecting MCFI,
+//! classic, or coarse enforcement over the *same* binary.
+
+use mcfi_baselines::{generate_policy, PolicyKind};
+use mcfi_codegen::{compile_source, CodegenOptions};
+use mcfi_runtime::{stdlib, synth, Outcome, Process, ProcessOptions};
+
+/// Result of one attack run.
+#[derive(Clone, Debug)]
+pub struct AttackResult {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Whether control reached `execve` (attack success).
+    pub execve_reached: bool,
+    /// Whether the attack was stopped by a CFI violation.
+    pub blocked: bool,
+}
+
+/// The vulnerable program: a logger dispatched through a function pointer
+/// of type `void (*)(int)`, plus a command table that takes `execve`'s
+/// address (making it address-taken, as MUSL linking does in the paper).
+const VULNERABLE_SRC: &str = r#"
+int execve(char* path);
+int puts(char* s);
+
+void good_logger(int level) {
+  if (level > 3) { puts("high"); }
+}
+
+// The command table takes execve's address, so it is a possible indirect
+// call target for pointers of type int(char*).
+struct command { int (*run)(char*); };
+struct command dispatch_table[2];
+
+void (*logger)(int) = good_logger;
+
+void init(void) {
+  dispatch_table[0].run = &execve;
+}
+
+int main(void) {
+  init();
+  int i = 0;
+  while (i < 64) {
+    logger(i);
+    i = i + 1;
+  }
+  return 0;
+}
+"#;
+
+/// Builds, loads, and runs the vulnerable program under `policy`, with a
+/// concurrent attacker redirecting the logger pointer at `execve`.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to compile or load — the inputs are
+/// fixed, so that is a bug, not an input condition.
+pub fn run_fptr_hijack(policy: PolicyKind) -> AttackResult {
+    let opts = CodegenOptions::default();
+    let mut p = Process::new(ProcessOptions::default());
+    let stubs = synth::syscall_module();
+    let libms = compile_source("libms", stdlib::LIBMS_SRC, &opts).expect("libms compiles");
+    let start = compile_source("start", stdlib::START_SRC, &opts).expect("start compiles");
+    let prog = compile_source("vuln", VULNERABLE_SRC, &opts).expect("scenario compiles");
+    p.load_all(vec![stubs, libms, start, prog]).expect("scenario loads");
+
+    // Re-enforce under the requested policy (same binary, different CFG).
+    if policy != PolicyKind::Mcfi {
+        let installable = {
+            let placed = p.placed_modules();
+            generate_policy(&placed, policy)
+        };
+        p.install_custom_policy(&installable);
+    }
+
+    let logger_slot = p.global("logger").expect("logger global exists");
+    let execve_entry = p.symbol("execve").expect("execve exported by the stubs");
+
+    let r = p
+        .run_with_attacker("__start", move |step, mem, _regs| {
+            // Let initialization finish, then hijack the pointer.
+            if step == 2_000 {
+                mem[logger_slot as usize..logger_slot as usize + 8]
+                    .copy_from_slice(&execve_entry.to_le_bytes());
+            }
+        })
+        .expect("entry resolves");
+
+    AttackResult {
+        blocked: matches!(r.outcome, Outcome::CfiViolation { .. }),
+        execve_reached: r.execve_reached,
+        outcome: r.outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcfi_blocks_the_hijack() {
+        let r = run_fptr_hijack(PolicyKind::Mcfi);
+        assert!(r.blocked, "outcome: {:?}", r.outcome);
+        assert!(!r.execve_reached);
+    }
+
+    #[test]
+    fn coarse_cfi_lets_the_hijack_through() {
+        let r = run_fptr_hijack(PolicyKind::Coarse);
+        assert!(
+            r.execve_reached,
+            "under coarse CFI execve is in the merged AT class; outcome: {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn classic_cfi_also_lets_it_through() {
+        // Classic CFI merges all AT functions into one class too (§8.2),
+        // so the hijack succeeds there as well.
+        let r = run_fptr_hijack(PolicyKind::Classic);
+        assert!(r.execve_reached, "outcome: {:?}", r.outcome);
+    }
+}

@@ -1,0 +1,158 @@
+//! ROP gadget discovery and elimination measurement (paper §8.3).
+//!
+//! "Since MCFI guarantees that only instructions appearing in the CFG
+//! are executed, a ROP gadget starting in the middle of an instruction is
+//! eliminated. We measured gadget elimination by counting unique gadgets
+//! in the original benchmarks and MCFI-hardened ones using a ROP-gadget
+//! finding tool called rp++." [`find_gadgets`] is this reproduction's
+//! rp++: it decodes from *every* byte offset (variable-length encoding
+//! makes misaligned decodes meaningful) and collects short instruction
+//! sequences ending in an indirect branch.
+
+use std::collections::BTreeSet;
+
+use mcfi_machine::{decode, Inst};
+
+/// A discovered gadget.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Gadget {
+    /// Start offset within the code image.
+    pub offset: usize,
+    /// The gadget's bytes (identity for deduplication).
+    pub bytes: Vec<u8>,
+    /// Number of instructions, including the final indirect branch.
+    pub len: usize,
+}
+
+/// Scans `code` for gadgets of at most `max_insts` instructions ending in
+/// `Ret`, `JmpReg`, or `CallReg`, starting from every byte offset.
+pub fn find_gadgets(code: &[u8], max_insts: usize) -> Vec<Gadget> {
+    let mut out = Vec::new();
+    for start in 0..code.len() {
+        let mut off = start;
+        for n in 1..=max_insts {
+            match decode(code, off) {
+                Ok((inst, len)) => {
+                    off += len;
+                    let terminal = matches!(
+                        inst,
+                        Inst::Ret | Inst::JmpReg { .. } | Inst::CallReg { .. }
+                    );
+                    if terminal {
+                        out.push(Gadget {
+                            offset: start,
+                            bytes: code[start..off].to_vec(),
+                            len: n,
+                        });
+                        break;
+                    }
+                    // Direct control flow ends the straight-line gadget.
+                    if matches!(
+                        inst,
+                        Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. } | Inst::Hlt
+                            | Inst::JmpTable { .. } | Inst::Syscall
+                    ) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    out
+}
+
+/// The number of *unique* gadgets (by byte content).
+pub fn unique_gadget_count(gadgets: &[Gadget]) -> usize {
+    gadgets.iter().map(|g| g.bytes.clone()).collect::<BTreeSet<_>>().len()
+}
+
+/// Gadget elimination under MCFI: a gadget survives only if an attacker
+/// can actually divert control to its start, i.e. the start is a 4-byte
+/// aligned address present in the Tary table (a legal indirect-branch
+/// target under the enforced CFG). Everything else — in particular every
+/// gadget starting in the middle of an instruction — is eliminated.
+///
+/// `targets` holds the code *offsets* that are Tary targets.
+pub fn surviving_gadgets<'g>(
+    gadgets: &'g [Gadget],
+    targets: &BTreeSet<usize>,
+) -> Vec<&'g Gadget> {
+    gadgets
+        .iter()
+        .filter(|g| g.offset % 4 == 0 && targets.contains(&g.offset))
+        .collect()
+}
+
+/// The §8.3 elimination percentage: unique gadgets in the plain build
+/// versus unique *reachable* gadgets in the hardened build.
+pub fn elimination_percent(
+    plain_unique: usize,
+    hardened_surviving_unique: usize,
+) -> f64 {
+    if plain_unique == 0 {
+        return 0.0;
+    }
+    let survived = hardened_surviving_unique.min(plain_unique);
+    100.0 * (1.0 - survived as f64 / plain_unique as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfi_machine::{encode, Reg};
+
+    #[test]
+    fn finds_the_obvious_ret_gadget() {
+        let code = encode(&[
+            Inst::Pop { reg: Reg::Rax },
+            Inst::Ret,
+        ]);
+        let gs = find_gadgets(&code, 4);
+        assert!(gs.iter().any(|g| g.offset == 0 && g.len == 2));
+        // And the bare `ret` at offset 2 is itself a gadget.
+        assert!(gs.iter().any(|g| g.len == 1));
+    }
+
+    #[test]
+    fn finds_misaligned_gadgets_inside_immediates() {
+        // A MovImm whose immediate bytes contain a Ret opcode (0x16)
+        // yields a gadget at a misaligned offset.
+        let code = encode(&[Inst::MovImm { dst: Reg::Rax, imm: 0x16 }]);
+        let gs = find_gadgets(&code, 2);
+        assert!(gs.iter().any(|g| g.offset > 0), "mid-instruction gadget expected");
+    }
+
+    #[test]
+    fn unique_counting_deduplicates() {
+        let code = encode(&[Inst::Ret, Inst::Ret, Inst::Ret]);
+        let gs = find_gadgets(&code, 1);
+        assert_eq!(gs.len(), 3);
+        assert_eq!(unique_gadget_count(&gs), 1);
+    }
+
+    #[test]
+    fn survival_requires_aligned_tary_target() {
+        let code = encode(&[
+            Inst::Nop,
+            Inst::Nop,
+            Inst::Nop,
+            Inst::Nop,
+            Inst::Ret, // offset 4, aligned
+        ]);
+        let gs = find_gadgets(&code, 2);
+        let mut targets = BTreeSet::new();
+        assert!(surviving_gadgets(&gs, &targets).is_empty());
+        targets.insert(4);
+        let survivors = surviving_gadgets(&gs, &targets);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].offset, 4);
+    }
+
+    #[test]
+    fn elimination_math() {
+        assert_eq!(elimination_percent(100, 3), 97.0);
+        assert_eq!(elimination_percent(0, 0), 0.0);
+        assert_eq!(elimination_percent(10, 10), 0.0);
+    }
+}

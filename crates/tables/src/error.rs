@@ -1,0 +1,92 @@
+//! CFI violation reporting.
+
+use core::fmt;
+
+use crate::id::Ecn;
+
+/// Why a check transaction rejected an indirect branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// The target address is not 4-byte aligned, so the word loaded from the
+    /// Tary table straddles IDs and fails the reserved-bit validity test.
+    UnalignedTarget,
+    /// The target address is aligned but is not a possible indirect-branch
+    /// target under the current CFG (its Tary entry is all zeros).
+    NotATarget,
+    /// Both IDs are valid and same-version, but belong to different
+    /// equivalence classes: a genuine control-flow policy violation.
+    EcnMismatch {
+        /// Equivalence class the branch is allowed to jump into.
+        branch: Ecn,
+        /// Equivalence class the actual target belongs to.
+        target: Ecn,
+    },
+}
+
+/// A control-flow-integrity violation detected by a check transaction.
+///
+/// Corresponds to the `hlt` exits of the paper's Fig. 4 sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CfiViolation {
+    /// The Bary-table slot of the offending indirect branch.
+    pub bary_slot: usize,
+    /// The address the branch attempted to reach.
+    pub target: u64,
+    /// The specific failure.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for CfiViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ViolationKind::UnalignedTarget => write!(
+                f,
+                "cfi violation: branch {} targets unaligned address {:#x}",
+                self.bary_slot, self.target
+            ),
+            ViolationKind::NotATarget => write!(
+                f,
+                "cfi violation: branch {} targets non-target address {:#x}",
+                self.bary_slot, self.target
+            ),
+            ViolationKind::EcnMismatch { branch, target } => write!(
+                f,
+                "cfi violation: branch {} ({}) may not reach {:#x} ({})",
+                self.bary_slot, branch, self.target, target
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CfiViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = CfiViolation {
+            bary_slot: 3,
+            target: 0x40,
+            kind: ViolationKind::NotATarget,
+        };
+        let s = v.to_string();
+        assert!(s.contains("branch 3"));
+        assert!(s.contains("0x40"));
+    }
+
+    #[test]
+    fn ecn_mismatch_shows_both_classes() {
+        let v = CfiViolation {
+            bary_slot: 0,
+            target: 0x10,
+            kind: ViolationKind::EcnMismatch {
+                branch: Ecn::new(1),
+                target: Ecn::new(2),
+            },
+        };
+        let s = v.to_string();
+        assert!(s.contains("ecn#1") && s.contains("ecn#2"), "{s}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The 4-byte MCFI ID encoding (paper Fig. 2).
+//!
+//! An ID packs three components into one 32-bit word so that a single
+//! load retrieves both the "real data" (the equivalence-class number) and
+//! the "meta data" (the transaction version), and a single comparison
+//! performs the validity check, the version check, and the ECN check:
+//!
+//! * **Reserved bits** — the least-significant bit of each byte carries the
+//!   fixed pattern `0,0,0,1` from the high byte to the low byte. A word
+//!   loaded from an address that points into the *middle* of an ID (an
+//!   unaligned indirect-branch target) cannot exhibit this pattern, so the
+//!   comparison with a branch ID fails.
+//! * **ECN** — a 14-bit equivalence-class number in the upper two bytes.
+//! * **Version** — a 14-bit transaction version in the lower two bytes.
+
+use core::fmt;
+
+/// Maximum number of distinct equivalence classes (`2^14`, paper §5.1).
+pub const ECN_LIMIT: u32 = 1 << 14;
+
+/// Maximum number of distinct transaction versions (`2^14`, paper §5.2).
+pub const VERSION_LIMIT: u32 = 1 << 14;
+
+/// Mask selecting the reserved (validity) bit of each byte.
+const RESERVED_MASK: u32 = 0x0101_0101;
+
+/// Required values of the reserved bits: `0,0,0,1` from high to low byte.
+const RESERVED_VALUE: u32 = 0x0000_0001;
+
+/// A 14-bit equivalence-class number.
+///
+/// Two indirect-branch targets share an ECN exactly when some indirect
+/// branch may jump to both of them according to the CFG (paper §2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Ecn(u16);
+
+impl Ecn {
+    /// Creates an ECN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= ECN_LIMIT`; the encoding has exactly 14 bits and a
+    /// silently truncated ECN would merge unrelated equivalence classes.
+    pub fn new(raw: u32) -> Self {
+        assert!(raw < ECN_LIMIT, "ECN {raw} exceeds the 14-bit ID encoding");
+        Ecn(raw as u16)
+    }
+
+    /// The raw 14-bit value.
+    pub fn raw(self) -> u32 {
+        u32::from(self.0)
+    }
+}
+
+impl fmt::Display for Ecn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ecn#{}", self.0)
+    }
+}
+
+/// A 14-bit transaction version number.
+///
+/// Bumped by every update transaction; check transactions that observe a
+/// target ID whose version differs from the branch ID's retry, because an
+/// update is concurrently rewriting the tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Version(u16);
+
+impl Version {
+    /// Creates a version number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= VERSION_LIMIT`.
+    pub fn new(raw: u32) -> Self {
+        assert!(raw < VERSION_LIMIT, "version {raw} exceeds 14 bits");
+        Version(raw as u16)
+    }
+
+    /// The raw 14-bit value.
+    pub fn raw(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// The successor version, wrapping at 14 bits (the ABA hazard of §5.2).
+    #[must_use]
+    pub fn next(self) -> Self {
+        Version(((u32::from(self.0) + 1) % VERSION_LIMIT) as u16)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A valid 4-byte MCFI ID (reserved bits set correctly).
+///
+/// The all-zero word — used for Tary entries of addresses that are not
+/// indirect-branch targets — is deliberately *not* a valid `Id`; it is
+/// handled as a raw `u32` by the table code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Id(u32);
+
+impl Id {
+    /// Encodes an ECN and a version into the single-word representation.
+    pub fn encode(ecn: Ecn, version: Version) -> Self {
+        let e = ecn.raw();
+        let v = version.raw();
+        let b0 = ((v & 0x7f) << 1) | 1; // low 7 version bits, reserved 1
+        let b1 = ((v >> 7) & 0x7f) << 1; // high 7 version bits, reserved 0
+        let b2 = (e & 0x7f) << 1; // low 7 ECN bits, reserved 0
+        let b3 = ((e >> 7) & 0x7f) << 1; // high 7 ECN bits, reserved 0
+        Id((b3 << 24) | (b2 << 16) | (b1 << 8) | b0)
+    }
+
+    /// Reinterprets a raw word as an ID, if its reserved bits are valid.
+    pub fn from_word(word: u32) -> Option<Self> {
+        if word & RESERVED_MASK == RESERVED_VALUE {
+            Some(Id(word))
+        } else {
+            None
+        }
+    }
+
+    /// Whether a raw word has the reserved-bit pattern of a valid ID.
+    ///
+    /// This is what the hardware's `testb $1, %sil` plus the failed word
+    /// comparison establish in the paper's Fig. 4 check sequence.
+    pub fn word_is_valid(word: u32) -> bool {
+        word & RESERVED_MASK == RESERVED_VALUE
+    }
+
+    /// The raw 32-bit word as stored in a table.
+    pub fn word(self) -> u32 {
+        self.0
+    }
+
+    /// The equivalence-class number carried by this ID.
+    pub fn ecn(self) -> Ecn {
+        let b2 = (self.0 >> 16) & 0xff;
+        let b3 = (self.0 >> 24) & 0xff;
+        Ecn::new((b2 >> 1) | ((b3 >> 1) << 7))
+    }
+
+    /// The transaction version carried by this ID.
+    pub fn version(self) -> Version {
+        let b0 = self.0 & 0xff;
+        let b1 = (self.0 >> 8) & 0xff;
+        Version::new((b0 >> 1) | ((b1 >> 1) << 7))
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({}, {})", self.ecn(), self.version())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reserved_bits_follow_the_paper() {
+        // From high to low bytes the reserved bits are 0, 0, 0, 1.
+        let id = Id::encode(Ecn::new(0), Version::new(0));
+        assert_eq!(id.word() & RESERVED_MASK, RESERVED_VALUE);
+        assert_eq!(id.word(), 0x0000_0001);
+    }
+
+    #[test]
+    fn max_values_round_trip() {
+        let id = Id::encode(Ecn::new(ECN_LIMIT - 1), Version::new(VERSION_LIMIT - 1));
+        assert_eq!(id.ecn().raw(), ECN_LIMIT - 1);
+        assert_eq!(id.version().raw(), VERSION_LIMIT - 1);
+        assert!(Id::word_is_valid(id.word()));
+    }
+
+    #[test]
+    fn zero_word_is_not_a_valid_id() {
+        assert!(Id::from_word(0).is_none());
+        assert!(!Id::word_is_valid(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_ecn_is_rejected() {
+        let _ = Ecn::new(ECN_LIMIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_version_is_rejected() {
+        let _ = Version::new(VERSION_LIMIT);
+    }
+
+    #[test]
+    fn version_wraps_at_fourteen_bits() {
+        assert_eq!(Version::new(VERSION_LIMIT - 1).next(), Version::new(0));
+        assert_eq!(Version::new(7).next(), Version::new(8));
+    }
+
+    #[test]
+    fn single_word_comparison_subsumes_all_three_checks() {
+        // Equal ECN + equal version -> identical words (the fast path of
+        // Fig. 4 completes validity, version and ECN checks in one cmp).
+        let a = Id::encode(Ecn::new(42), Version::new(9));
+        let b = Id::encode(Ecn::new(42), Version::new(9));
+        assert_eq!(a.word(), b.word());
+        // Any differing component changes the word.
+        assert_ne!(a.word(), Id::encode(Ecn::new(43), Version::new(9)).word());
+        assert_ne!(a.word(), Id::encode(Ecn::new(42), Version::new(10)).word());
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trips(ecn in 0u32..ECN_LIMIT, ver in 0u32..VERSION_LIMIT) {
+            let id = Id::encode(Ecn::new(ecn), Version::new(ver));
+            prop_assert_eq!(id.ecn().raw(), ecn);
+            prop_assert_eq!(id.version().raw(), ver);
+            prop_assert!(Id::word_is_valid(id.word()));
+        }
+
+        #[test]
+        fn encoding_is_injective(
+            e1 in 0u32..ECN_LIMIT, v1 in 0u32..VERSION_LIMIT,
+            e2 in 0u32..ECN_LIMIT, v2 in 0u32..VERSION_LIMIT,
+        ) {
+            let a = Id::encode(Ecn::new(e1), Version::new(v1));
+            let b = Id::encode(Ecn::new(e2), Version::new(v2));
+            prop_assert_eq!(a == b, e1 == e2 && v1 == v2);
+        }
+
+        #[test]
+        fn unaligned_reads_cannot_forge_validity(
+            e1 in 0u32..ECN_LIMIT, v1 in 0u32..VERSION_LIMIT,
+            e2 in 0u32..ECN_LIMIT, v2 in 0u32..VERSION_LIMIT,
+            shift in 1usize..4,
+        ) {
+            // A word assembled from the tail of one ID and the head of the
+            // next (what a misaligned Tary lookup observes) always fails the
+            // reserved-bit test: the paper's argument for why alignment
+            // no-ops plus reserved bits prevent mid-ID targets.
+            let lo = Id::encode(Ecn::new(e1), Version::new(v1)).word().to_le_bytes();
+            let hi = Id::encode(Ecn::new(e2), Version::new(v2)).word().to_le_bytes();
+            let both = [lo, hi].concat();
+            let w = u32::from_le_bytes(both[shift..shift + 4].try_into().unwrap());
+            prop_assert!(!Id::word_is_valid(w));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Runtime ID tables and table-access transactions for MCFI.
+//!
+//! This crate implements Section 5 of *Modular Control-Flow Integrity*
+//! (Niu & Tan, PLDI 2014): the `Bary` (branch-ID) and `Tary` (target-ID)
+//! tables, the 4-byte ID encoding with reserved validity bits, and the two
+//! kinds of table transactions:
+//!
+//! * [`IdTables::check`] — the `TxCheck` transaction executed before every
+//!   indirect branch: a speculative, lock-free pair of table reads plus a
+//!   single-word comparison. On a version mismatch (a concurrent
+//!   [`IdTables::update`] is in flight) the check retries; on an ECN
+//!   mismatch or an invalid target ID it reports a CFI violation.
+//! * [`IdTables::update`] — the `TxUpdate` transaction executed during
+//!   dynamic linking: serialized by a global update lock, it bumps the
+//!   global version, rewrites the Tary table, issues a memory barrier, and
+//!   then rewrites the Bary table, so concurrent checks observe either the
+//!   wholly-old or wholly-new CFG (linearizability).
+//!
+//! The [`stm`] module contains the alternative synchronization strategies
+//! the paper micro-benchmarks against (TML, a readers-writer lock, and a
+//! compare-and-swap mutex), and [`quiescence`] implements the update-counter
+//! mitigation for the 14-bit version-number ABA problem discussed in §5.2.
+//!
+//! # Example
+//!
+//! ```
+//! use mcfi_tables::{IdTables, TablesConfig};
+//!
+//! // A 64-byte code region: one branch (bary index 0) that may target
+//! // address 8, both in equivalence class 3.
+//! let tables = IdTables::new(TablesConfig { code_size: 64, bary_slots: 1 });
+//! tables.update(|addr| if addr == 8 { Some(3) } else { None },
+//!               |slot| if slot == 0 { Some(3) } else { None });
+//! assert!(tables.check(0, 8).is_ok());
+//! assert!(tables.check(0, 12).is_err()); // not a target at all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod id;
+pub mod quiescence;
+pub mod stm;
+mod tables;
+pub mod wide;
+
+pub use error::{CfiViolation, ViolationKind};
+pub use id::{Ecn, Id, Version, ECN_LIMIT, VERSION_LIMIT};
+pub use tables::{IdTables, SplitBump, TablesConfig, TaryView, UpdateStats};

@@ -1,0 +1,555 @@
+//! The independent MCFI module verifier (paper §7).
+//!
+//! "We have also implemented an independent verifier … that performs
+//! modular verification of MCFI modules. The verifier takes an MCFI
+//! module, disassembles the module, and checks whether indirect branches
+//! are instrumented as required, memory writes stay in the sandbox (so
+//! that the tables are protected), and no-ops are inserted to make
+//! indirect-branch targets aligned." The verifier removes the rewriter
+//! from the trusted computing base: a buggy or malicious compiler cannot
+//! slip uninstrumented branches or unsandboxed writes past it.
+//!
+//! The auxiliary type information makes *complete* disassembly possible —
+//! [`verify`] decodes every instruction byte of the module (jump tables
+//! are data and are checked structurally instead).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mcfi_machine::{decode, Cond, Inst, Reg, SANDBOX_MASK, TARGET_ALIGN};
+use mcfi_module::Module;
+
+/// A single verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// The code could not be fully disassembled.
+    Undecodable {
+        /// Offset of the failure.
+        offset: usize,
+        /// Decoder message.
+        message: String,
+    },
+    /// A raw `ret` appears in instrumented code.
+    RawReturn {
+        /// Offset.
+        offset: usize,
+    },
+    /// An indirect branch is not part of a recorded check sequence.
+    UncheckedIndirectBranch {
+        /// Offset.
+        offset: usize,
+    },
+    /// A recorded check sequence does not match the required instruction
+    /// pattern (paper Fig. 4).
+    MalformedCheck {
+        /// Offset of the `BaryLoad`.
+        offset: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A store's address register is not masked into the sandbox
+    /// immediately before the write (and is not frame-relative).
+    UnsandboxedWrite {
+        /// Offset of the store.
+        offset: usize,
+    },
+    /// A function entry, return site, or setjmp landing is misaligned.
+    MisalignedTarget {
+        /// The target offset.
+        offset: usize,
+        /// Which kind of target.
+        what: &'static str,
+    },
+    /// A jump-table entry points outside its owning function.
+    JumpTableEscape {
+        /// Table offset.
+        table: usize,
+        /// The offending entry.
+        entry: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Undecodable { offset, message } => {
+                write!(f, "undecodable code at {offset:#x}: {message}")
+            }
+            Violation::RawReturn { offset } => write!(f, "raw ret at {offset:#x}"),
+            Violation::UncheckedIndirectBranch { offset } => {
+                write!(f, "unchecked indirect branch at {offset:#x}")
+            }
+            Violation::MalformedCheck { offset, message } => {
+                write!(f, "malformed check at {offset:#x}: {message}")
+            }
+            Violation::UnsandboxedWrite { offset } => {
+                write!(f, "unsandboxed memory write at {offset:#x}")
+            }
+            Violation::MisalignedTarget { offset, what } => {
+                write!(f, "misaligned {what} at {offset:#x}")
+            }
+            Violation::JumpTableEscape { table, entry } => {
+                write!(f, "jump table at {table:#x} escapes its function via {entry:#x}")
+            }
+        }
+    }
+}
+
+/// The verification report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All violations found (empty = the module verifies).
+    pub violations: Vec<Violation>,
+    /// Instructions disassembled.
+    pub instructions: usize,
+    /// Check sequences validated.
+    pub checks: usize,
+    /// Stores validated.
+    pub stores: usize,
+}
+
+impl Report {
+    /// Whether the module passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verifies an MCFI module.
+///
+/// Checks performed:
+/// 1. the entire code image (minus jump-table data) disassembles;
+/// 2. no raw `Ret` instructions remain;
+/// 3. every `CallReg`/`JmpReg` is the branch of a recorded check sequence
+///    whose instructions match the Fig. 4 pattern (`BaryLoad %rdi`;
+///    `TaryLoad %rsi, (%rcx)`; `Cmp %rdi, %rsi`; `Jcc ne`; branch via
+///    `%rcx`; with the `TestImm`/`Cmp16` slow path present);
+/// 4. every `Store`/`Store8` either goes through the frame/stack
+///    registers or its base register is masked by
+///    `AndImm reg, SANDBOX_MASK` that dominates the store in the same
+///    straight-line run, with no intervening redefinition of the base
+///    (multi-word writes like the setjmp buffer save share one mask);
+/// 5. function entries, return sites, and setjmp landings are 4-byte
+///    aligned;
+/// 6. jump-table entries stay within their owning function.
+pub fn verify(module: &Module) -> Report {
+    let mut report = Report::default();
+
+    // Jump tables are read-only data inside the code region; skip them
+    // during linear disassembly.
+    let table_ranges: Vec<(usize, usize)> = module
+        .aux
+        .jump_tables
+        .iter()
+        .map(|t| (t.table_offset, t.table_offset + 8 * t.entries.len()))
+        .collect();
+    let in_table = |off: usize| table_ranges.iter().any(|(s, e)| off >= *s && off < *e);
+
+    let branch_offsets: BTreeSet<usize> =
+        module.aux.indirect_branches.iter().map(|b| b.branch_offset).collect();
+
+    // Pass 1: linear disassembly with local pattern checks.
+    let mut insts: Vec<(usize, Inst)> = Vec::new();
+    let mut off = 0;
+    while off < module.code.len() {
+        if in_table(off) {
+            off += 1;
+            continue;
+        }
+        match decode(&module.code, off) {
+            Ok((inst, len)) => {
+                insts.push((off, inst));
+                off += len;
+            }
+            Err(e) => {
+                report
+                    .violations
+                    .push(Violation::Undecodable { offset: off, message: e.to_string() });
+                off += 1;
+            }
+        }
+    }
+    report.instructions = insts.len();
+
+    for (i, (off, inst)) in insts.iter().enumerate() {
+        match inst {
+            Inst::Ret => report.violations.push(Violation::RawReturn { offset: *off }),
+            Inst::CallReg { .. } | Inst::JmpReg { .. }
+                if !branch_offsets.contains(off) => {
+                    report
+                        .violations
+                        .push(Violation::UncheckedIndirectBranch { offset: *off });
+                }
+            Inst::Store { base, .. } | Inst::Store8 { base, .. } => {
+                report.stores += 1;
+                let frame_relative = matches!(base, Reg::Rsp | Reg::Rbp);
+                if !frame_relative && !store_is_masked(&insts, i, *base) {
+                    report.violations.push(Violation::UnsandboxedWrite { offset: *off });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: each recorded check sequence matches the Fig. 4 pattern.
+    let index_of: std::collections::HashMap<usize, usize> =
+        insts.iter().enumerate().map(|(i, (o, _))| (*o, i)).collect();
+    for b in &module.aux.indirect_branches {
+        report.checks += 1;
+        let Some(&start) = index_of.get(&b.check_offset) else {
+            report.violations.push(Violation::MalformedCheck {
+                offset: b.check_offset,
+                message: "check offset is not an instruction boundary".into(),
+            });
+            continue;
+        };
+        if let Err(message) = check_sequence(&insts, start, b.branch_offset) {
+            report
+                .violations
+                .push(Violation::MalformedCheck { offset: b.check_offset, message });
+        }
+    }
+
+    // Pass 3: alignment of every possible Tary target.
+    for (name, f) in &module.functions {
+        if f.size > 0 && !(f.offset as u64).is_multiple_of(TARGET_ALIGN) {
+            let _ = name;
+            report
+                .violations
+                .push(Violation::MisalignedTarget { offset: f.offset, what: "function entry" });
+        }
+    }
+    for s in &module.aux.return_sites {
+        if !(s.offset as u64).is_multiple_of(TARGET_ALIGN) {
+            let what = match s.callee {
+                mcfi_module::CalleeKind::SetJmp => "setjmp landing",
+                _ => "return site",
+            };
+            report.violations.push(Violation::MisalignedTarget { offset: s.offset, what });
+        }
+    }
+
+    // Pass 4: jump tables stay inside their owning functions.
+    for t in &module.aux.jump_tables {
+        if let Some(f) = module.functions.get(&t.function) {
+            for e in &t.entries {
+                if *e < f.offset || *e >= f.offset + f.size {
+                    report
+                        .violations
+                        .push(Violation::JumpTableEscape { table: t.table_offset, entry: *e });
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Whether the store at instruction index `i` writes through a base
+/// register masked into the sandbox. The mask must dominate the store
+/// with no intervening instruction that could change the base: only
+/// other stores (which write memory, not registers) may sit between the
+/// `AndImm` and this store — the pattern of multi-word writes such as
+/// the setjmp buffer save.
+fn store_is_masked(insts: &[(usize, Inst)], i: usize, base: Reg) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let inst = &insts[j].1;
+        if let Inst::AndImm { dst, imm } = inst {
+            if *dst == base && *imm == SANDBOX_MASK {
+                return true;
+            }
+        }
+        // Control flow invalidates the straight-line dominance argument;
+        // so does any instruction that could redefine the base register.
+        let is_control = matches!(
+            inst,
+            Inst::Jmp { .. }
+                | Inst::Jcc { .. }
+                | Inst::Call { .. }
+                | Inst::CallReg { .. }
+                | Inst::JmpReg { .. }
+                | Inst::JmpTable { .. }
+                | Inst::Ret
+                | Inst::Syscall
+                | Inst::Hlt
+        );
+        if is_control || writes_reg(inst, base) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether `inst` writes register `r`.
+fn writes_reg(inst: &Inst, r: Reg) -> bool {
+    match inst {
+        Inst::MovImm { dst, .. }
+        | Inst::MovReg { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Load8 { dst, .. }
+        | Inst::Lea { dst, .. }
+        | Inst::Alu { dst, .. }
+        | Inst::AddImm { dst, .. }
+        | Inst::AndImm { dst, .. }
+        | Inst::SetCc { dst, .. }
+        | Inst::TaryLoad { dst, .. }
+        | Inst::BaryLoad { dst, .. }
+        | Inst::FAlu { dst, .. }
+        | Inst::CvtIF { dst, .. }
+        | Inst::CvtFI { dst, .. } => *dst == r,
+        Inst::Pop { reg } | Inst::Trunc32 { reg } => *reg == r,
+        Inst::Push { .. }
+        | Inst::Store { .. }
+        | Inst::Store8 { .. }
+        | Inst::Cmp { .. }
+        | Inst::Cmp16 { .. }
+        | Inst::CmpImm { .. }
+        | Inst::TestImm { .. }
+        | Inst::FCmp { .. }
+        | Inst::Nop => false,
+        // Control-flow instructions are handled by the caller.
+        _ => true,
+    }
+}
+
+/// Validates one check sequence starting at instruction index `start`
+/// (the `BaryLoad`), whose transfer is recorded at `branch_offset`.
+fn check_sequence(
+    insts: &[(usize, Inst)],
+    start: usize,
+    branch_offset: usize,
+) -> Result<(), String> {
+    let get = |i: usize| -> Result<&Inst, String> {
+        insts.get(i).map(|(_, inst)| inst).ok_or_else(|| "sequence truncated".to_string())
+    };
+    // BaryLoad %rdi, <slot>
+    match get(start)? {
+        Inst::BaryLoad { dst: Reg::Rdi, .. } => {}
+        other => return Err(format!("expected BaryLoad %rdi, found {other}")),
+    }
+    // TaryLoad %rsi, (%rcx)
+    match get(start + 1)? {
+        Inst::TaryLoad { dst: Reg::Rsi, addr: Reg::Rcx } => {}
+        other => return Err(format!("expected TaryLoad %rsi,(%rcx), found {other}")),
+    }
+    // Cmp %rdi, %rsi
+    match get(start + 2)? {
+        Inst::Cmp { a: Reg::Rdi, b: Reg::Rsi } => {}
+        other => return Err(format!("expected Cmp %rdi,%rsi, found {other}")),
+    }
+    // Jcc ne <slow path>
+    match get(start + 3)? {
+        Inst::Jcc { cc: Cond::Ne, .. } => {}
+        other => return Err(format!("expected jne, found {other}")),
+    }
+    // The transfer: CallReg/JmpReg via %rcx at the recorded offset,
+    // possibly preceded by alignment Nops.
+    let mut i = start + 4;
+    loop {
+        let (off, inst) = insts
+            .get(i)
+            .ok_or_else(|| "sequence truncated before branch".to_string())?;
+        match inst {
+            Inst::Nop => {
+                i += 1;
+                continue;
+            }
+            Inst::CallReg { reg: Reg::Rcx } | Inst::JmpReg { reg: Reg::Rcx } => {
+                if *off != branch_offset {
+                    return Err(format!(
+                        "branch at {off:#x} does not match recorded offset {branch_offset:#x}"
+                    ));
+                }
+                break;
+            }
+            other => return Err(format!("expected checked branch via %rcx, found {other}")),
+        }
+    }
+    // Slow path must contain the validity test and the version compare
+    // within a small window after the branch.
+    let window: Vec<&Inst> = (i + 1..(i + 8).min(insts.len()))
+        .filter_map(|j| insts.get(j).map(|(_, inst)| inst))
+        .collect();
+    let has_validity = window
+        .iter()
+        .any(|inst| matches!(inst, Inst::TestImm { a: Reg::Rsi, imm: 1 }));
+    let has_version = window
+        .iter()
+        .any(|inst| matches!(inst, Inst::Cmp16 { a: Reg::Rdi, b: Reg::Rsi }));
+    let has_halt = window.iter().any(|inst| matches!(inst, Inst::Hlt));
+    if !has_validity {
+        return Err("slow path lacks the validity test (testb $1, %sil)".into());
+    }
+    if !has_version {
+        return Err("slow path lacks the version compare (cmpw %di, %si)".into());
+    }
+    if !has_halt {
+        return Err("slow path lacks the hlt".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfi_codegen::{compile_source, CodegenOptions, Policy};
+    use mcfi_machine::{encode, encode_into};
+
+    fn build(src: &str) -> Module {
+        compile_source("t", src, &CodegenOptions::default()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    const DEMO: &str = "int id(int x) { return x; }\n\
+                        int apply(int (*f)(int), int x) { int r = f(x); return r; }\n\
+                        int main(void) { int r = apply(&id, 5); return r; }";
+
+    #[test]
+    fn instrumented_modules_verify() {
+        let m = build(DEMO);
+        let r = verify(&m);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(r.checks >= 3);
+        assert!(r.instructions > 10);
+    }
+
+    #[test]
+    fn switch_modules_verify() {
+        let m = build(
+            "int f(int x) { switch (x) { case 0: return 1; case 1: return 2; case 2: return 3; \
+             case 3: return 4; default: return 0; } return 0; }",
+        );
+        let r = verify(&m);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn uninstrumented_module_fails() {
+        let m = compile_source(
+            "t",
+            DEMO,
+            &CodegenOptions { policy: Policy::NoCfi, tail_calls: true },
+        )
+        .unwrap();
+        let r = verify(&m);
+        assert!(!r.ok());
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::RawReturn { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UncheckedIndirectBranch { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnsandboxedWrite { .. })));
+    }
+
+    #[test]
+    fn stripping_the_mask_is_caught() {
+        // Take a valid module and overwrite an AndImm with Nops: the
+        // following store becomes unsandboxed.
+        let mut m = build("void f(int* p) { *p = 7; }");
+        let insts = mcfi_machine::decode_all(&m.code).unwrap();
+        let (mask_off, mask_len) = insts
+            .iter()
+            .zip(insts.iter().skip(1))
+            .find_map(|((o, i), _)| match i {
+                Inst::AndImm { .. } => Some((*o, encode(&[*i]).len())),
+                _ => None,
+            })
+            .expect("masked store present");
+        let mut nops = Vec::new();
+        for _ in 0..mask_len {
+            encode_into(&Inst::Nop, &mut nops);
+        }
+        m.code[mask_off..mask_off + mask_len].copy_from_slice(&nops);
+        let r = verify(&m);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnsandboxedWrite { .. })));
+    }
+
+    #[test]
+    fn corrupted_check_sequence_is_caught() {
+        // Replace the TaryLoad of the first check with Nops.
+        let mut m = build("int f(int x) { return x; }");
+        let b = m.aux.indirect_branches[0].clone();
+        let (inst, len) = decode(&m.code, b.check_offset).unwrap();
+        assert!(matches!(inst, Inst::BaryLoad { .. }));
+        let tary_off = b.check_offset + len;
+        let (tl, tl_len) = decode(&m.code, tary_off).unwrap();
+        assert!(matches!(tl, Inst::TaryLoad { .. }));
+        for i in 0..tl_len {
+            m.code[tary_off + i] = 0x22; // Nop
+        }
+        let r = verify(&m);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MalformedCheck { .. })));
+    }
+
+    #[test]
+    fn misreported_branch_offset_is_caught() {
+        let mut m = build("int f(int x) { return x; }");
+        m.aux.indirect_branches[0].branch_offset += 2;
+        let r = verify(&m);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn misaligned_function_entry_is_caught() {
+        let mut m = build("int f(int x) { return x; }");
+        let sym = m.functions.get_mut("f").unwrap();
+        sym.offset += 1; // misreport
+        let r = verify(&m);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MisalignedTarget { what: "function entry", .. })));
+    }
+
+    #[test]
+    fn escaping_jump_table_is_caught() {
+        let mut m = build(
+            "int f(int x) { switch (x) { case 0: return 1; case 1: return 2; case 2: return 3; \
+             case 3: return 4; default: return 0; } return 0; }\nint g(void) { return 7; }",
+        );
+        // Redirect a table entry into g.
+        let g_off = m.functions["g"].offset;
+        m.aux.jump_tables[0].entries[0] = g_off;
+        let r = verify(&m);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::JumpTableEscape { .. })));
+    }
+
+    #[test]
+    fn undecodable_bytes_are_reported() {
+        let mut m = build("int f(int x) { return x; }");
+        m.code.push(0xff);
+        let r = verify(&m);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Undecodable { .. })));
+    }
+
+    #[test]
+    fn verifier_accepts_the_whole_stdlib() {
+        let m = compile_source(
+            "libms",
+            mcfi_runtime::stdlib::LIBMS_SRC,
+            &CodegenOptions::default(),
+        )
+        .unwrap();
+        let r = verify(&m);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+    }
+}

@@ -1,0 +1,623 @@
+//! Synthetic SPECCPU2006-like workloads.
+//!
+//! The paper evaluates on the twelve SPECCPU2006 C benchmarks. Those
+//! sources (and their reference inputs) are proprietary, so this crate
+//! generates twelve MiniC programs whose *structure* is calibrated to the
+//! statistics the paper reports:
+//!
+//! * the relative density of address-taken functions, indirect-call
+//!   sites, and signature families follows Table 3 (perlbench and gcc
+//!   large and pointer-heavy; mcf and lbm tiny; milc/lbm float-heavy),
+//!   scaled down ~10× so the whole suite compiles and runs in seconds;
+//! * the cast-pattern counts (UC/DC/MF/SU/NF and residual K1/K2) follow
+//!   Table 1/2's shape (seven benchmarks clean, perlbench and gcc with
+//!   the most violations, libquantum with a single K1 needing a fix);
+//! * each program has a deterministic `main` that exercises its dispatch
+//!   tables, switch statements, direct-call helpers, and (for perlbench
+//!   and gcc) `setjmp`/`longjmp` and variadic calls — so Fig. 5/6's
+//!   instrumentation overhead is measured over realistic indirect-branch
+//!   mixes.
+//!
+//! Each benchmark exists in two variants: [`Variant::Original`] contains
+//! the K1 violations as found (analyzer input for Tables 1/2), and
+//! [`Variant::Fixed`] applies the paper's fix — wrapper functions with
+//! matching types — so the program runs correctly under MCFI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Which flavor of a benchmark's source to generate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// The source "as found": contains K1-kind violations (function
+    /// pointers initialized with incompatibly-typed functions). Suitable
+    /// for the analyzer, not for running under MCFI.
+    Original,
+    /// The paper's fix applied: incompatible initializations routed
+    /// through wrapper functions of the correct type (§6's strcmp
+    /// wrapper). Runs cleanly under MCFI.
+    Fixed,
+}
+
+/// Injected cast-pattern counts (Tables 1 and 2's columns).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CastCounts {
+    /// Upcasts (UC false positives).
+    pub uc: usize,
+    /// Tag-checked downcasts (DC false positives).
+    pub dc: usize,
+    /// malloc/free casts (MF false positives).
+    pub mf: usize,
+    /// NULL-literal updates (SU false positives).
+    pub su: usize,
+    /// Non-fp-field accesses (NF false positives).
+    pub nf: usize,
+    /// K1 cases that need a source fix (pointer type actually invoked).
+    pub k1_fixed: usize,
+    /// K1 cases on dead pointers (no fix needed).
+    pub k1_dead: usize,
+    /// K2 round-trip casts.
+    pub k2: usize,
+}
+
+/// The generator parameters for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Spec {
+    /// Benchmark name (the SPEC program it is calibrated to).
+    pub name: &'static str,
+    /// Address-taken worker functions per signature family:
+    /// `[int(int), int(int,int), float(float), int(char*), void(int)]`.
+    pub families: [usize; 5],
+    /// Direct-call helper functions (return-site diversity + SLOC).
+    pub helpers: usize,
+    /// Iterations of the main dispatch loop.
+    pub iters: u64,
+    /// Pure-ALU work per dispatch iteration. This sets the benchmark's
+    /// indirect-branch *density*: compute-bound programs (lbm, mcf,
+    /// hmmer) see little instrumentation overhead, dispatch-heavy ones
+    /// (perlbench, gcc, gobmk) the most — the spread of Fig. 5.
+    pub compute: u64,
+    /// Injected cast patterns.
+    pub casts: CastCounts,
+    /// Include a setjmp/longjmp unit and a variadic logger.
+    pub unconventional: bool,
+}
+
+/// The twelve benchmark names, in the paper's Table 1/3 order.
+pub const BENCHMARKS: [&str; 12] = [
+    "perlbench",
+    "bzip2",
+    "gcc",
+    "mcf",
+    "gobmk",
+    "hmmer",
+    "sjeng",
+    "libquantum",
+    "h264ref",
+    "milc",
+    "lbm",
+    "sphinx3",
+];
+
+/// The generator spec for a benchmark.
+///
+/// # Panics
+///
+/// Panics on an unknown name; use [`BENCHMARKS`] to enumerate.
+pub fn spec(name: &str) -> Spec {
+    let c = |uc, dc, mf, su, nf, k1_fixed, k1_dead, k2| CastCounts {
+        uc,
+        dc,
+        mf,
+        su,
+        nf,
+        k1_fixed,
+        k1_dead,
+        k2,
+    };
+    match name {
+        "perlbench" => Spec {
+            name: "perlbench",
+            families: [40, 30, 18, 20, 14],
+            helpers: 30,
+            iters: 2500,
+            compute: 2,
+            casts: c(26, 48, 12, 32, 16, 1, 0, 11),
+            unconventional: true,
+        },
+        "bzip2" => Spec {
+            name: "bzip2",
+            families: [6, 4, 2, 3, 2],
+            helpers: 8,
+            iters: 2500,
+            compute: 30,
+            casts: c(0, 0, 1, 1, 0, 0, 0, 2),
+            unconventional: false,
+        },
+        "gcc" => Spec {
+            name: "gcc",
+            families: [80, 60, 35, 30, 28],
+            helpers: 45,
+            iters: 1800,
+            compute: 3,
+            casts: c(0, 0, 1, 37, 2, 2, 1, 1),
+            unconventional: true,
+        },
+        "mcf" => Spec {
+            name: "mcf",
+            families: [4, 3, 2, 2, 2],
+            helpers: 5,
+            iters: 1500,
+            compute: 60,
+            casts: c(0, 0, 0, 0, 0, 0, 0, 0),
+            unconventional: false,
+        },
+        "gobmk" => Spec {
+            name: "gobmk",
+            families: [48, 36, 18, 18, 14],
+            helpers: 28,
+            iters: 2200,
+            compute: 4,
+            casts: c(0, 0, 0, 0, 0, 0, 0, 0),
+            unconventional: false,
+        },
+        "hmmer" => Spec {
+            name: "hmmer",
+            families: [15, 10, 8, 6, 5],
+            helpers: 12,
+            iters: 1100,
+            compute: 100,
+            casts: c(0, 0, 2, 0, 0, 0, 0, 0),
+            unconventional: false,
+        },
+        "sjeng" => Spec {
+            name: "sjeng",
+            families: [8, 6, 4, 3, 3],
+            helpers: 8,
+            iters: 3200,
+            compute: 12,
+            casts: c(0, 0, 0, 0, 0, 0, 0, 0),
+            unconventional: false,
+        },
+        "libquantum" => Spec {
+            name: "libquantum",
+            families: [6, 5, 3, 2, 2],
+            helpers: 6,
+            iters: 1100,
+            compute: 100,
+            casts: c(0, 0, 0, 0, 0, 1, 0, 0),
+            unconventional: false,
+        },
+        "h264ref" => Spec {
+            name: "h264ref",
+            families: [24, 18, 12, 10, 8],
+            helpers: 16,
+            iters: 2600,
+            compute: 8,
+            casts: c(0, 0, 1, 0, 0, 0, 0, 0),
+            unconventional: false,
+        },
+        "milc" => Spec {
+            name: "milc",
+            families: [8, 6, 12, 4, 4],
+            helpers: 10,
+            iters: 1400,
+            compute: 60,
+            casts: c(0, 0, 1, 0, 0, 0, 0, 1),
+            unconventional: false,
+        },
+        "lbm" => Spec {
+            name: "lbm",
+            families: [4, 3, 4, 2, 2],
+            helpers: 4,
+            iters: 900,
+            compute: 120,
+            casts: c(0, 0, 0, 0, 0, 0, 0, 0),
+            unconventional: false,
+        },
+        "sphinx3" => Spec {
+            name: "sphinx3",
+            families: [14, 10, 9, 6, 5],
+            helpers: 11,
+            iters: 2800,
+            compute: 16,
+            casts: c(0, 0, 1, 1, 0, 0, 0, 0),
+            unconventional: false,
+        },
+        other => panic!("unknown benchmark `{other}`; see BENCHMARKS"),
+    }
+}
+
+/// Generates the MiniC source of a benchmark.
+pub fn source(name: &str, variant: Variant) -> String {
+    generate(&spec(name), variant)
+}
+
+/// Generates the MiniC source for an arbitrary [`Spec`].
+pub fn generate(s: &Spec, variant: Variant) -> String {
+    let n = s.name;
+    let mut out = String::with_capacity(1 << 16);
+    let w = &mut out;
+
+    let _ = writeln!(w, "// synthetic SPEC-like workload: {n}");
+    let _ = writeln!(w, "int puts(char* s);");
+    let _ = writeln!(w, "void* malloc(int size);");
+    let _ = writeln!(w, "void free(void* p);");
+    let _ = writeln!(w, "int strlen(char* s);");
+    let _ = writeln!(w);
+
+    // ---- globals ----
+    let _ = writeln!(w, "int {n}_acc = 0;");
+    let _ = writeln!(w, "char {n}_buf[64];");
+    let [f0, f1, f2, f3, f4] = s.families;
+    let _ = writeln!(w, "int (*{n}_t0[{f0}])(int);");
+    let _ = writeln!(w, "int (*{n}_t1[{f1}])(int, int);");
+    let _ = writeln!(w, "float (*{n}_t2[{f2}])(float);");
+    let _ = writeln!(w, "int (*{n}_t3[{f3}])(char*);");
+    let _ = writeln!(w, "void (*{n}_t4[{f4}])(int);");
+    let _ = writeln!(w);
+
+    // ---- worker families (address-taken) ----
+    for i in 0..f0 {
+        let _ = writeln!(
+            w,
+            "int {n}_w0_{i}(int x) {{ return x * {} + {}; }}",
+            i % 7 + 1,
+            i % 13
+        );
+    }
+    for i in 0..f1 {
+        let _ = writeln!(
+            w,
+            "int {n}_w1_{i}(int x, int y) {{ return x * {} - y + {}; }}",
+            i % 5 + 1,
+            i % 11
+        );
+    }
+    for i in 0..f2 {
+        let _ = writeln!(
+            w,
+            "float {n}_w2_{i}(float x) {{ return x * {}.5 + {}.25; }}",
+            i % 3 + 1,
+            i % 4
+        );
+    }
+    for i in 0..f3 {
+        let _ = writeln!(
+            w,
+            "int {n}_w3_{i}(char* str) {{ int k = 0; while (str[k]) {{ k = k + 1; }} return k + {i}; }}"
+        );
+    }
+    for i in 0..f4 {
+        let _ = writeln!(
+            w,
+            "void {n}_w4_{i}(int x) {{ {n}_acc = {n}_acc + x * {}; }}",
+            i % 9 + 1
+        );
+    }
+    let _ = writeln!(w);
+
+    // ---- tail-call chain (hot path): on x86-64 these compile to jumps,
+    // on x86-32 to call+checked-return — the Table 3 / Fig. 5 contrast ----
+    let _ = writeln!(w, "int {n}_chain0(int x) {{ return x + 1; }}");
+    for j in 1..4 {
+        let _ = writeln!(
+            w,
+            "int {n}_chain{j}(int x) {{ return {n}_chain{}(x + {j}); }}",
+            j - 1
+        );
+    }
+    let _ = writeln!(w);
+
+    // ---- direct-call helpers (return-site diversity and SLOC scale) ----
+    for j in 0..s.helpers {
+        let _ = writeln!(
+            w,
+            "int {n}_h{j}(int x) {{\n  int t = x + {j};\n  t = t * {};\n  if (t > 1000000) {{ t = t % 1000000; }}\n  return t;\n}}",
+            j % 3 + 1
+        );
+    }
+    let _ = writeln!(w);
+
+    // ---- init: populate dispatch tables (takes every worker's address) ----
+    let _ = writeln!(w, "void {n}_init(void) {{");
+    for i in 0..f0 {
+        let _ = writeln!(w, "  {n}_t0[{i}] = &{n}_w0_{i};");
+    }
+    for i in 0..f1 {
+        let _ = writeln!(w, "  {n}_t1[{i}] = &{n}_w1_{i};");
+    }
+    for i in 0..f2 {
+        let _ = writeln!(w, "  {n}_t2[{i}] = &{n}_w2_{i};");
+    }
+    for i in 0..f3 {
+        let _ = writeln!(w, "  {n}_t3[{i}] = &{n}_w3_{i};");
+    }
+    for i in 0..f4 {
+        let _ = writeln!(w, "  {n}_t4[{i}] = &{n}_w4_{i};");
+    }
+    let _ = writeln!(w, "  {n}_buf[0] = 'a'; {n}_buf[1] = 'b'; {n}_buf[2] = 'c'; {n}_buf[3] = '\\0';");
+    let _ = writeln!(w, "}}");
+    let _ = writeln!(w);
+
+    emit_cast_patterns(w, s, variant);
+    if s.unconventional {
+        emit_unconventional(w, n);
+    }
+
+    // ---- main ----
+    let iters = s.iters;
+    let _ = writeln!(w, "int main(void) {{");
+    let _ = writeln!(w, "  {n}_init();");
+    let _ = writeln!(w, "  {n}_cast_setup();");
+    if s.unconventional {
+        let _ = writeln!(w, "  {n}_acc = {n}_acc + {n}_jmp_unit(3);");
+        let _ = writeln!(w, "  {n}_acc = {n}_acc + {n}_vlog({n}_buf, 1, 2);");
+    }
+    let _ = writeln!(w, "  int acc = 0;");
+    let _ = writeln!(w, "  float facc = 0.5;");
+    let _ = writeln!(w, "  int i = 0;");
+    let compute = s.compute;
+    let _ = writeln!(w, "  while (i < {iters}) {{");
+    let _ = writeln!(w, "    int c = 0;");
+    let _ = writeln!(w, "    while (c < {compute}) {{ acc = acc + ((acc >> 3) ^ c); c = c + 1; }}");
+    let _ = writeln!(w, "    acc = acc + {n}_t0[i % {f0}](i);");
+    let _ = writeln!(w, "    acc = acc + {n}_t1[i % {f1}](i, acc);");
+    let _ = writeln!(w, "    facc = facc + {n}_t2[i % {f2}](facc);");
+    let _ = writeln!(w, "    if (facc > 1000000.0) {{ facc = 0.5; }}");
+    let _ = writeln!(w, "    acc = acc + {n}_t3[i % {f3}]({n}_buf);");
+    let _ = writeln!(w, "    acc = acc + {n}_chain3(i % 100);");
+    let _ = writeln!(w, "    {n}_t4[i % {f4}](i);");
+    let _ = writeln!(w, "    switch (i % 8) {{");
+    for k in 0..8 {
+        let _ = writeln!(w, "      case {k}: acc = acc + {}; ", k * 3 + 1);
+    }
+    let _ = writeln!(w, "      default: acc = acc - 1;");
+    let _ = writeln!(w, "    }}");
+    // A few direct helper calls for return-site diversity.
+    for j in 0..s.helpers.min(4) {
+        let _ = writeln!(w, "    acc = {n}_h{j}(acc);");
+    }
+    let _ = writeln!(w, "    i = i + 1;");
+    let _ = writeln!(w, "  }}");
+    let _ = writeln!(w, "  acc = acc + (int)facc + {n}_acc;");
+    let _ = writeln!(w, "  if (acc < 0) {{ acc = -acc; }}");
+    let _ = writeln!(w, "  return acc % 256;");
+    let _ = writeln!(w, "}}");
+    out
+}
+
+/// Emits the Table 1 cast-pattern units plus a `{n}_cast_setup` entry
+/// point that exercises the runtime-safe ones.
+fn emit_cast_patterns(w: &mut String, s: &Spec, variant: Variant) {
+    let n = s.name;
+    let c = s.casts;
+
+    // Struct pair for UC/DC (abstract prefix + concrete extension).
+    let _ = writeln!(w, "struct {n}_ab {{ int tag; void (*vh)(int); }};");
+    let _ = writeln!(
+        w,
+        "struct {n}_cc {{ int tag; void (*vh)(int); int extra; }};"
+    );
+    if c.dc > 0 {
+        let _ = writeln!(w, "__tag_assoc({n}_ab, 1, {n}_cc);");
+    }
+    // The NF struct (the perlbench xpvlv example).
+    let _ = writeln!(
+        w,
+        "struct {n}_xpv {{ int xlv_targlen; void (*hook)(int); }};"
+    );
+    let _ = writeln!(w, "struct {n}_sv {{ void* sv_any; }};");
+
+    for i in 0..c.uc {
+        let _ = writeln!(
+            w,
+            "int {n}_uc_{i}(struct {n}_cc* d) {{ struct {n}_ab* b = (struct {n}_ab*)d; return b->tag + {i}; }}"
+        );
+    }
+    for i in 0..c.dc {
+        let _ = writeln!(
+            w,
+            "int {n}_dc_{i}(struct {n}_ab* b) {{ if (b->tag == 1) {{ struct {n}_cc* d = (struct {n}_cc*)b; return d->extra + {i}; }} return 0; }}"
+        );
+    }
+    for i in 0..c.mf {
+        let _ = writeln!(
+            w,
+            "int {n}_mf_{i}(void) {{ struct {n}_ab* p = (struct {n}_ab*)malloc(16); p->tag = {i}; int t = p->tag; free((void*)p); return t; }}"
+        );
+    }
+    for i in 0..c.su {
+        let _ = writeln!(
+            w,
+            "void {n}_su_{i}(void) {{ void (*p)(int); p = 0; if (p) {{ p({i}); }} }}"
+        );
+    }
+    for i in 0..c.nf {
+        let _ = writeln!(
+            w,
+            "int {n}_nf_{i}(struct {n}_sv* sv) {{ return ((struct {n}_xpv*)(sv->sv_any))->xlv_targlen + {i}; }}"
+        );
+    }
+    // K1 "needs fix": a comparison-style pointer type that *is* invoked.
+    if c.k1_fixed > 0 {
+        let _ = writeln!(
+            w,
+            "int {n}_sc(char* a, char* b) {{ int i = 0; while (a[i] && a[i] == b[i]) {{ i = i + 1; }} return a[i] - b[i]; }}"
+        );
+        for i in 0..c.k1_fixed {
+            match variant {
+                Variant::Original => {
+                    // The splay-tree strcmp bug shape: incompatible init,
+                    // pointer invoked.
+                    let _ = writeln!(
+                        w,
+                        "int {n}_k1f_{i}(char* a, char* b) {{ int (*cmp)(char*, char*); cmp = (int(*)(char*, char*)){n}_w0_{i}; if (a[0] > 'z') {{ return cmp(a, b); }} cmp = &{n}_sc; return cmp(a, b); }}"
+                    );
+                }
+                Variant::Fixed => {
+                    // The paper's fix: a wrapper of the matching type.
+                    let _ = writeln!(
+                        w,
+                        "int {n}_k1wrap_{i}(char* a, char* b) {{ return {n}_w0_{i}(strlen(a) - strlen(b)); }}"
+                    );
+                    let _ = writeln!(
+                        w,
+                        "int {n}_k1f_{i}(char* a, char* b) {{ int (*cmp)(char*, char*); cmp = &{n}_k1wrap_{i}; if (a[0] > 'z') {{ return cmp(a, b); }} cmp = &{n}_sc; return cmp(a, b); }}"
+                    );
+                }
+            }
+        }
+    }
+    // K1 "dead": incompatible init of a pointer type never invoked.
+    for i in 0..c.k1_dead {
+        let _ = writeln!(
+            w,
+            "void {n}_k1d_{i}(void) {{ float (*q)(int); q = (float(*)(int)){n}_w0_0; if (q == 0) {{ {n}_acc = {n}_acc + {i}; }} }}"
+        );
+    }
+    // K2: round trips through void* that stay type-correct.
+    for i in 0..c.k2 {
+        let _ = writeln!(
+            w,
+            "int {n}_k2_{i}(void) {{ void* slot = (void*)&{n}_w0_0; int (*p)(int) = (int(*)(int))slot; return p({i}); }}"
+        );
+    }
+
+    // Setup entry: exercise the runtime-safe units so they are live code.
+    let _ = writeln!(w, "void {n}_cast_setup(void) {{");
+    let _ = writeln!(w, "  struct {n}_cc concrete;");
+    let _ = writeln!(w, "  concrete.tag = 1;");
+    let _ = writeln!(w, "  concrete.extra = 9;");
+    if c.uc > 0 {
+        let _ = writeln!(w, "  {n}_acc = {n}_acc + {n}_uc_0(&concrete);");
+    }
+    if c.dc > 0 {
+        let _ = writeln!(
+            w,
+            "  {n}_acc = {n}_acc + {n}_dc_0((struct {n}_ab*)&concrete);"
+        );
+    }
+    if c.mf > 0 {
+        let _ = writeln!(w, "  {n}_acc = {n}_acc + {n}_mf_0();");
+    }
+    if c.su > 0 {
+        let _ = writeln!(w, "  {n}_su_0();");
+    }
+    if c.k1_fixed > 0 {
+        if let Variant::Fixed = variant {
+            let _ = writeln!(w, "  {n}_acc = {n}_acc + {n}_k1f_0({n}_buf, {n}_buf);");
+        }
+    }
+    if c.k1_dead > 0 {
+        let _ = writeln!(w, "  {n}_k1d_0();");
+    }
+    if c.k2 > 0 {
+        let _ = writeln!(w, "  {n}_acc = {n}_acc + {n}_k2_0();");
+    }
+    let _ = writeln!(w, "}}");
+    let _ = writeln!(w);
+}
+
+/// setjmp/longjmp unit and a variadic logger (perlbench/gcc only).
+fn emit_unconventional(w: &mut String, n: &str) {
+    let _ = writeln!(w, "int {n}_jb[8];");
+    let _ = writeln!(
+        w,
+        "void {n}_leap(int v) {{ longjmp({n}_jb, v); }}"
+    );
+    let _ = writeln!(
+        w,
+        "int {n}_jmp_unit(int v) {{\n  int r = setjmp({n}_jb);\n  if (r) {{ return r; }}\n  {n}_leap(v);\n  return 0;\n}}"
+    );
+    let _ = writeln!(
+        w,
+        "int {n}_vlog(char* fmt, ...) {{\n  int k = 0;\n  while (fmt[k]) {{ k = k + 1; }}\n  return k;\n}}"
+    );
+    let _ = writeln!(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfi_minic::parse_and_check;
+
+    #[test]
+    fn every_benchmark_has_a_spec() {
+        for b in BENCHMARKS {
+            let s = spec(b);
+            assert_eq!(s.name, b);
+            assert!(s.iters > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_names_panic() {
+        let _ = spec("quake");
+    }
+
+    #[test]
+    fn all_sources_parse_and_check_in_both_variants() {
+        for b in BENCHMARKS {
+            for v in [Variant::Original, Variant::Fixed] {
+                let src = source(b, v);
+                parse_and_check(&src)
+                    .unwrap_or_else(|e| panic!("{b} ({v:?}) failed the front end: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_benchmarks_have_no_recorded_casts() {
+        for b in ["mcf", "gobmk", "sjeng", "lbm"] {
+            let tp = parse_and_check(&source(b, Variant::Original)).unwrap();
+            assert!(tp.casts.is_empty(), "{b} should be cast-clean");
+        }
+    }
+
+    #[test]
+    fn perlbench_has_the_most_violations() {
+        let perl = parse_and_check(&source("perlbench", Variant::Original)).unwrap();
+        let bzip = parse_and_check(&source("bzip2", Variant::Original)).unwrap();
+        assert!(perl.casts.len() > bzip.casts.len() * 5);
+    }
+
+    #[test]
+    fn fixed_variant_removes_incompatible_initializations() {
+        let orig = parse_and_check(&source("libquantum", Variant::Original)).unwrap();
+        let fixed = parse_and_check(&source("libquantum", Variant::Fixed)).unwrap();
+        let k1 = |tp: &mcfi_minic::TypedProgram| {
+            tp.casts
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c.context,
+                        mcfi_minic::CastContext::FnAddrToFnPtr { compatible: false }
+                    )
+                })
+                .count()
+        };
+        assert!(k1(&orig) > 0);
+        assert_eq!(k1(&fixed), 0);
+    }
+
+    #[test]
+    fn workload_sizes_track_the_paper_ordering() {
+        // gcc > perlbench > gobmk > ... > lbm/mcf in function counts.
+        let count = |b: &str| spec(b).families.iter().sum::<usize>();
+        assert!(count("gcc") > count("perlbench"));
+        assert!(count("perlbench") > count("hmmer"));
+        assert!(count("hmmer") > count("mcf"));
+        assert!(count("milc") > count("lbm"));
+    }
+
+    #[test]
+    fn address_taken_matches_family_sizes() {
+        let tp = parse_and_check(&source("mcf", Variant::Original)).unwrap();
+        let expected: usize = spec("mcf").families.iter().sum();
+        assert_eq!(tp.address_taken.len(), expected);
+    }
+}

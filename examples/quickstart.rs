@@ -1,0 +1,62 @@
+//! Quickstart: compile a MiniC program, instrument it with MCFI, load it
+//! into the sandboxed runtime, and run it — then watch the same policy
+//! stop a type-confused indirect call.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mcfi::{BuildOptions, Outcome, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program with healthy indirect control flow: a dispatch table of
+    // same-typed functions.
+    let good = r#"
+        int puts(char* s);
+
+        int square(int x) { return x * x; }
+        int cube(int x) { return x * x * x; }
+
+        int main(void) {
+            int (*ops[2])(int);
+            ops[0] = &square;
+            ops[1] = &cube;
+            int total = 0;
+            int i = 0;
+            while (i < 10) {
+                total = total + ops[i % 2](i);
+                i = i + 1;
+            }
+            puts("dispatch ok");
+            return total % 100;
+        }
+    "#;
+
+    let opts = BuildOptions { verify: true, ..Default::default() };
+    let mut system = System::boot_source(good, &opts)?;
+    let result = system.run()?;
+    println!("well-typed program: {:?}", result.outcome);
+    println!("  stdout: {:?}", result.stdout.trim());
+    println!("  {} instructions, {} simulated cycles, {} check transactions",
+        result.steps, result.cycles, result.checks);
+    assert!(matches!(result.outcome, Outcome::Exit { .. }));
+
+    // The same machinery halts a call through a type-confused pointer:
+    // an int(int) pointer smuggled (via void*) onto a float(float)
+    // function is not an edge of the type-matched CFG.
+    let evil = r#"
+        float nearly(float x) { return x + 0.5; }
+
+        int main(void) {
+            void* laundered = (void*)&nearly;
+            int (*f)(int) = (int(*)(int))laundered;
+            return f(1);
+        }
+    "#;
+    let mut system = System::boot_source(evil, &opts)?;
+    let result = system.run()?;
+    println!("type-confused call: {:?}", result.outcome);
+    assert!(matches!(result.outcome, Outcome::CfiViolation { .. }));
+    println!("MCFI halted the program before the bad transfer. ✓");
+    Ok(())
+}

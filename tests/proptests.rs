@@ -1,0 +1,127 @@
+//! Property-based integration tests: randomized workload specs drive the
+//! entire pipeline — generate MiniC, compile under both policies, verify,
+//! run, and compare results.
+
+use proptest::prelude::*;
+
+use mcfi::{Arch, BuildOptions, Outcome, Policy, System};
+use mcfi_workloads::{generate, CastCounts, Spec, Variant};
+
+fn small_spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        1usize..5,
+        1usize..4,
+        1usize..3,
+        1usize..3,
+        1usize..3,
+        0usize..3,   // helpers
+        20u64..120,  // iters
+        0u64..6,     // compute
+        0usize..2,   // k2 casts
+        any::<bool>(),
+    )
+        .prop_map(|(f0, f1, f2, f3, f4, helpers, iters, compute, k2, unconventional)| Spec {
+            name: "propwl",
+            families: [f0, f1, f2, f3, f4],
+            helpers,
+            iters,
+            compute,
+            casts: CastCounts { k2, ..Default::default() },
+            unconventional,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The central soundness property: for programs satisfying C1/C2 (which
+    /// the generator guarantees), MCFI instrumentation never changes the
+    /// result — same exit code, just more cycles.
+    #[test]
+    fn instrumentation_preserves_program_results(spec in small_spec_strategy()) {
+        let src = generate(&spec, Variant::Fixed);
+        let run = |policy: Policy| {
+            let opts = BuildOptions { policy, arch: Arch::X86_64, verify: false };
+            let mut system = System::boot_source(&src, &opts).expect("boots");
+            system.run().expect("runs")
+        };
+        let hardened = run(Policy::Mcfi);
+        let plain = run(Policy::NoCfi);
+        let (Outcome::Exit { code: a }, Outcome::Exit { code: b }) =
+            (&hardened.outcome, &plain.outcome) else {
+            panic!("non-exit outcomes: {:?} / {:?}", hardened.outcome, plain.outcome);
+        };
+        prop_assert_eq!(a, b, "results must match");
+        prop_assert!(hardened.cycles >= plain.cycles);
+    }
+
+    /// Every generated module passes the independent verifier — the
+    /// rewriter stays out of the TCB because this holds for *all* inputs.
+    #[test]
+    fn generated_modules_always_verify(spec in small_spec_strategy()) {
+        let src = generate(&spec, Variant::Fixed);
+        let m = mcfi::compile_module("propwl", &src, &BuildOptions::default())
+            .expect("compiles");
+        let report = mcfi_verifier::verify(&m);
+        prop_assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    /// CFG statistics are internally consistent for arbitrary modules:
+    /// every branch's ECN is coherent with the Tary map, and merged
+    /// classes partition the target set.
+    #[test]
+    fn policies_partition_targets(spec in small_spec_strategy()) {
+        let src = generate(&spec, Variant::Fixed);
+        let m = mcfi::compile_module("propwl", &src, &BuildOptions::default())
+            .expect("compiles");
+        let p = mcfi_cfggen::generate_single(&m, 0);
+        // Every target of a branch carries the branch's own ECN.
+        for b in &p.bary {
+            for t in &b.targets {
+                prop_assert_eq!(p.tary.get(t).copied(), Some(b.ecn));
+            }
+        }
+        // Class count never exceeds target count; stats agree with maps.
+        prop_assert_eq!(p.stats.ibts, p.tary.len());
+        prop_assert!(p.stats.eqcs <= p.stats.ibts.max(1));
+        prop_assert_eq!(p.stats.ibs, p.bary.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Attacker-model property: whatever single 8-byte stack corruption
+    /// the attacker performs, the program either computes the correct
+    /// result, halts with a CFI violation, or faults in the sandbox — it
+    /// never silently computes a *wrong* result via a hijacked branch to
+    /// a wrong-class target, and never escapes the sandbox.
+    #[test]
+    fn single_stack_corruption_never_escapes(step in 0u64..4000, word in any::<u64>()) {
+        let src = "int f(int x) { return x * 3 + 1; }\n\
+                   int main(void) { int a = f(4); int b = f(a); return b; }";
+        let mut system = System::boot_source(src, &BuildOptions::default()).expect("boots");
+        let mut fired = false;
+        let r = system
+            .process()
+            .run_with_attacker("__start", move |s, mem, regs| {
+                if s == step && !fired {
+                    fired = true;
+                    let rsp = regs[4] as usize;
+                    if rsp + 8 <= mem.len() {
+                        mem[rsp..rsp + 8].copy_from_slice(&word.to_le_bytes());
+                    }
+                }
+            })
+            .expect("runs");
+        match r.outcome {
+            // Either the corruption missed anything live...
+            Outcome::Exit { code } => prop_assert_eq!(code, 40),
+            // ...or MCFI caught the redirected branch...
+            Outcome::CfiViolation { .. } => {}
+            // ...or the corrupted value faulted inside the sandbox.
+            Outcome::Fault(_) => {}
+            Outcome::StepLimit => prop_assert!(false, "must terminate"),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Security integration tests: the §8.3 evaluation — attack outcomes per
+//! policy, gadget elimination, AIR ordering — exercised on real builds.
+
+use mcfi::{compile_module, Arch, BuildOptions, Policy, System};
+use mcfi_baselines::{air, evaluate, generate_policy, PolicyKind};
+use mcfi_security::{gadget_report, run_fptr_hijack};
+use mcfi_workloads::Variant;
+
+const PROGRAM: &str = r#"
+    int cb_a(int x) { return x + 1; }
+    int cb_b(int x) { return x - 1; }
+    float fcb(float x) { return x * 2.0; }
+    int main(void) {
+        int (*f)(int) = &cb_a;
+        float (*g)(float) = &fcb;
+        int acc = f(1);
+        f = &cb_b;
+        acc = acc + f(2);
+        float y = g(1.5);
+        return acc + (int)y;
+    }
+"#;
+
+#[test]
+fn attack_outcome_depends_on_policy_granularity() {
+    let mcfi = run_fptr_hijack(PolicyKind::Mcfi);
+    let classic = run_fptr_hijack(PolicyKind::Classic);
+    let coarse = run_fptr_hijack(PolicyKind::Coarse);
+    assert!(mcfi.blocked && !mcfi.execve_reached);
+    assert!(classic.execve_reached);
+    assert!(coarse.execve_reached);
+}
+
+#[test]
+fn gadget_elimination_is_high_on_a_real_workload() {
+    let src = mcfi_workloads::source("bzip2", Variant::Fixed);
+    let plain = compile_module(
+        "b",
+        &src,
+        &BuildOptions { policy: Policy::NoCfi, arch: Arch::X86_64, verify: false },
+    )
+    .expect("plain build");
+    let hardened = compile_module(
+        "b",
+        &src,
+        &BuildOptions { policy: Policy::Mcfi, arch: Arch::X86_64, verify: true },
+    )
+    .expect("hardened build");
+    let r = gadget_report(&plain, &hardened);
+    assert!(r.plain_unique > 10, "plain build has gadgets: {}", r.plain_unique);
+    assert!(
+        r.eliminated_percent > 90.0,
+        "elimination {:.1}% ({} survivors)",
+        r.eliminated_percent,
+        r.surviving_unique
+    );
+}
+
+#[test]
+fn air_ordering_holds_on_a_full_program() {
+    let opts = BuildOptions::default();
+    let mut system = System::boot_source(PROGRAM, &opts).expect("boots");
+    let placed = system.process().placed_modules();
+    let a_mcfi = air(&placed, PolicyKind::Mcfi);
+    let a_classic = air(&placed, PolicyKind::Classic);
+    let a_coarse = air(&placed, PolicyKind::Coarse);
+    let a_chunk = air(&placed, PolicyKind::Chunk { size: 32 });
+    assert!(a_mcfi > a_classic && a_classic >= a_coarse && a_coarse > a_chunk);
+    assert!(a_mcfi > 0.99, "MCFI AIR near 1: {a_mcfi}");
+}
+
+#[test]
+fn coarse_policy_is_installable_and_runs_benign_code() {
+    // Installing the coarse policy must not break a *benign* program —
+    // coarse CFI is weaker, not different, for legal control flow.
+    let opts = BuildOptions::default();
+    let mut system = System::boot_source(PROGRAM, &opts).expect("boots");
+    let coarse = {
+        let placed = system.process().placed_modules();
+        generate_policy(&placed, PolicyKind::Coarse)
+    };
+    system.process().install_custom_policy(&coarse);
+    let r = system.run().expect("runs");
+    assert!(matches!(r.outcome, mcfi::Outcome::Exit { .. }), "{:?}", r.outcome);
+}
+
+#[test]
+fn coarse_has_few_classes_mcfi_many() {
+    let opts = BuildOptions::default();
+    let mut system = System::boot_source(PROGRAM, &opts).expect("boots");
+    let placed = system.process().placed_modules();
+    let mcfi_eval = evaluate(&placed, PolicyKind::Mcfi);
+    let coarse_eval = evaluate(&placed, PolicyKind::Coarse);
+    // The paper: "MCFI's CFGs can generate two to three orders of
+    // magnitude more equivalence classes" than the handful of coarse CFI.
+    assert!(coarse_eval.stats.eqcs <= 4, "coarse: {}", coarse_eval.stats.eqcs);
+    assert!(
+        mcfi_eval.stats.eqcs >= coarse_eval.stats.eqcs * 4,
+        "MCFI {} vs coarse {}",
+        mcfi_eval.stats.eqcs,
+        coarse_eval.stats.eqcs
+    );
+}
+
+#[test]
+fn return_into_function_entry_is_blocked() {
+    // A return redirected at a function entry (classic ROP pivot): entry
+    // and return-site classes never merge under MCFI.
+    let opts = BuildOptions::default();
+    let mut system = System::boot_source(
+        "int f(int x) { return x; }\n\
+         int main(void) { int a = f(1); int b = f(a); return b; }",
+        &opts,
+    )
+    .expect("boots");
+    let target = system.process().symbol("f").expect("f exported");
+    let stack_lo = 0x40_0000u64 - 0x1_0000;
+    let r = system
+        .process()
+        .run_with_attacker("__start", move |_step, mem, regs| {
+            let rsp = regs[4];
+            if rsp >= stack_lo && (rsp as usize) + 8 <= mem.len() {
+                let a = rsp as usize;
+                mem[a..a + 8].copy_from_slice(&target.to_le_bytes());
+            }
+        })
+        .expect("runs");
+    assert!(
+        matches!(r.outcome, mcfi::Outcome::CfiViolation { .. }),
+        "{:?}",
+        r.outcome
+    );
+}

@@ -1,0 +1,188 @@
+//! The headline claim (§1): modules can be instrumented independently and
+//! linked *statically or dynamically*; the combined module enforces the
+//! combination of the individual CFGs, and the policy grows monotonically
+//! as libraries are loaded.
+
+use mcfi::{compile_module, BuildOptions, Outcome, System};
+
+fn opts() -> BuildOptions {
+    BuildOptions { verify: true, ..Default::default() }
+}
+
+/// The paper's own example from §1: function `f` in module M1 contains a
+/// return; after linking M2, the return may also return to M2's call
+/// sites.
+#[test]
+fn linking_extends_return_target_sets() {
+    use mcfi_cfggen::{generate, Placed};
+    use mcfi_module::BranchKind;
+
+    let m1 = compile_module(
+        "m1",
+        "int f(int x) { return x + 1; }\n\
+         int m1_caller(void) { int r = f(1); return r; }",
+        &opts(),
+    )
+    .expect("m1 compiles");
+    let m2 = compile_module(
+        "m2",
+        "int f(int x);\n\
+         int m2_caller(void) { int r = f(2); return r; }",
+        &opts(),
+    )
+    .expect("m2 compiles");
+
+    // Locate f's return branch in M1.
+    let f_local = m1
+        .aux
+        .indirect_branches
+        .iter()
+        .find(|b| matches!(&b.kind, BranchKind::Return { function } if function == "f"))
+        .expect("f has a rewritten return")
+        .local_slot;
+
+    // Policy over M1 alone: f returns only to M1's call site.
+    let p1 = generate(&[Placed { module: &m1, code_base: 0 }]);
+    let slot1 = p1.global_slot(0, f_local).expect("slot");
+    assert_eq!(p1.bary[slot1].targets.len(), 1);
+
+    // Policy over M1+M2: the return also reaches M2's site — the paper's
+    // §1 example verbatim.
+    let p2 = generate(&[
+        Placed { module: &m1, code_base: 0 },
+        Placed { module: &m2, code_base: 0x10000 },
+    ]);
+    let slot2 = p2.global_slot(0, f_local).expect("slot");
+    assert_eq!(p2.bary[slot2].targets.len(), 2);
+    assert!(p2.bary[slot2].targets.iter().any(|t| *t >= 0x10000));
+}
+
+#[test]
+fn dynamic_linking_widens_the_policy_at_runtime() {
+    // Before dlopen: calling through a pointer into the library is a
+    // violation (the entry is not a target). After dlopen: allowed.
+    let lib = compile_module(
+        "libx",
+        "int x_worker(int v) { return v * 2; }",
+        &opts(),
+    )
+    .expect("lib compiles");
+
+    let host = r#"
+        int dlopen(char* name);
+        void* dlsym(char* name);
+        int main(void) {
+            if (!dlopen("libx")) { return -1; }
+            int (*w)(int) = (int(*)(int))dlsym("x_worker");
+            int r = w(21);
+            return r;
+        }
+    "#;
+    let mut system = System::boot_source(host, &opts()).expect("boots");
+    system.register_library("libx", lib);
+
+    let before = system.process().current_policy();
+    let r = system.run().expect("runs");
+    assert_eq!(r.outcome, Outcome::Exit { code: 42 }, "stdout: {}", r.stdout);
+    assert!(r.updates >= 1);
+
+    let after = system.process().current_policy();
+    assert!(
+        after.stats.ibts > before.stats.ibts,
+        "loading the library adds targets: {} -> {}",
+        before.stats.ibts,
+        after.stats.ibts
+    );
+}
+
+#[test]
+fn library_compiled_once_linked_into_different_policies() {
+    // The same instrumented bytes participate in different CFGs depending
+    // on what they are linked with — the policy is runtime data, not
+    // baked into the code (the design point of the ID tables).
+    let lib = compile_module(
+        "libshared",
+        "int s_fn(int x) { return x + 5; }",
+        &opts(),
+    )
+    .expect("lib compiles");
+
+    // Program A takes s_fn's address; program B calls it directly.
+    let prog_a = compile_module(
+        "a",
+        "int s_fn(int x);\nint main(void) { int (*p)(int) = &s_fn; int r = p(1); return r; }",
+        &opts(),
+    )
+    .expect("a compiles");
+    let prog_b = compile_module(
+        "b",
+        "int s_fn(int x);\nint main(void) { int r = s_fn(1); return r; }",
+        &opts(),
+    )
+    .expect("b compiles");
+
+    let mut sys_a =
+        System::boot_modules(vec![lib.clone(), prog_a], &opts()).expect("boots a");
+    let pol_a = sys_a.process().current_policy();
+    let mut sys_b = System::boot_modules(vec![lib, prog_b], &opts()).expect("boots b");
+    let pol_b = sys_b.process().current_policy();
+
+    // A's policy contains s_fn's entry as a target (address taken); B's
+    // does not — same library bytes, different CFGs.
+    assert!(pol_a.stats.ibts > pol_b.stats.ibts);
+    assert_eq!(sys_a.run().expect("runs").outcome, Outcome::Exit { code: 6 });
+    assert_eq!(sys_b.run().expect("runs").outcome, Outcome::Exit { code: 6 });
+}
+
+#[test]
+fn type_environments_merge_across_modules() {
+    // A struct defined in a header shared by two modules: both carry the
+    // composite definition; linking unions them without conflict, and
+    // cross-module indirect calls through struct fields work.
+    let header = "struct hooks { int (*get)(int); };\n";
+    let lib = compile_module(
+        "libh",
+        &format!(
+            "{header}\
+             int real_get(int x) {{ return x * 3; }}\n\
+             void install(struct hooks* h) {{ h->get = &real_get; }}"
+        ),
+        &opts(),
+    )
+    .expect("lib compiles");
+    let app = compile_module(
+        "apph",
+        &format!(
+            "{header}\
+             void install(struct hooks* h);\n\
+             int main(void) {{\n\
+               struct hooks h;\n\
+               install(&h);\n\
+               int r = h.get(14);\n\
+               return r;\n\
+             }}"
+        ),
+        &opts(),
+    )
+    .expect("app compiles");
+    let mut system = System::boot_modules(vec![lib, app], &opts()).expect("boots");
+    assert_eq!(system.run().expect("runs").outcome, Outcome::Exit { code: 42 });
+}
+
+#[test]
+fn conflicting_type_environments_are_rejected() {
+    let a = compile_module(
+        "ta",
+        "typedef int word;\nint fa(word w) { return w; }",
+        &opts(),
+    )
+    .expect("compiles");
+    let b = compile_module(
+        "tb",
+        "typedef char* word;\nint fb(word w) { return 0; }\nint main(void) { return 0; }",
+        &opts(),
+    )
+    .expect("compiles");
+    let err = System::boot_modules(vec![a, b], &opts());
+    assert!(err.is_err(), "clashing typedefs must fail to link");
+}
