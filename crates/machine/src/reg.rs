@@ -63,8 +63,15 @@ impl Reg {
     }
 
     /// The 4-bit encoding.
-    pub fn nibble(self) -> u8 {
+    pub const fn nibble(self) -> u8 {
         self as u8
+    }
+
+    /// The register's position in a `[u64; 16]` register file — the
+    /// canonical way to index VM register state by name instead of by
+    /// magic number (`regs[Reg::Rsp.index()]`, not `regs[4]`).
+    pub const fn index(self) -> usize {
+        self as usize
     }
 
     /// Whether this register is reserved for check-transaction scratch.
@@ -106,6 +113,14 @@ mod tests {
         for r in Reg::ALL {
             assert_eq!(Reg::from_nibble(r.nibble()), Some(r));
         }
+    }
+
+    #[test]
+    fn index_matches_encoding_order() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::Rsp.index(), 4);
     }
 
     #[test]

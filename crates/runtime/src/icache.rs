@@ -1,0 +1,309 @@
+//! The predecoded-instruction cache for the SimX64 hot path.
+//!
+//! Uncached, every [`crate::vm::Vm::step`] pays two byte-level taxes: a
+//! linear region scan (`check_exec`) and a full variable-length decode
+//! of the instruction at `pc`. Verified MCFI code never changes between
+//! a module being flipped executable and the next loader event, so both
+//! answers are stable for long stretches — millions of steps for the
+//! benchmark workloads. This module memoises them in a flat side-table
+//! per executable region, built eagerly with one
+//! [`mcfi_machine::decode_sweep`] pass when a region first becomes
+//! visible and refreshed lazily for any pc the sweep did not reach
+//! (e.g. mid-instruction gadget targets).
+//!
+//! # Invalidation
+//!
+//! Correctness hangs on one question: *when may a memoised decoding go
+//! stale?* Only when the bytes an instruction fetch observes change, and
+//! under W^X every such change funnels through four `Sandbox` methods —
+//! `map`, `protect`, `load_image`, and `raw_mut` — each of which bumps
+//! the sandbox's generation counter. `write8`/`write64` cannot touch
+//! executable bytes (they fault on non-writable regions, and no region
+//! is ever writable and executable), so they leave the generation alone
+//! and the cache survives ordinary data traffic untouched. Every fetch
+//! compares the cache's build generation against the sandbox's; any
+//! mismatch throws the whole table away and rebuilds, so dlopen-style
+//! loader patches (GOT slot rewrites, Bary-slot immediates) are
+//! re-decoded before they can execute stale.
+//!
+//! # Why this cannot weaken the security model
+//!
+//! The cache never *invents* an answer: a hit replays exactly what
+//! `check_exec` + `decode` returned against the same generation's bytes,
+//! and every miss calls the real thing. Entries whose byte span crosses
+//! their region boundary are never memoised (the spilled-into bytes
+//! might be writable data), and the concurrent-attacker harness bypasses
+//! the cache entirely — the attacker mutates raw memory between steps,
+//! which both bumps the generation *and* uses the uncached [`Vm::step`]
+//! fetch path, so TxCheck races are simulated against live memory.
+//!
+//! [`Vm::step`]: crate::vm::Vm::step
+
+use mcfi_machine::{cost_of, decode, decode_sweep, Inst};
+
+use crate::mem::Sandbox;
+use crate::vm::{VmError, VmStats};
+
+/// One predecoded fetch result. `len == 0` marks an empty slot — no
+/// valid instruction length is zero, so no sentinel collision exists.
+#[derive(Clone, Copy)]
+struct Slot {
+    inst: Inst,
+    len: u8,
+    cost: u32,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot { inst: Inst::Hlt, len: 0, cost: 0 };
+}
+
+/// The decoded view of one executable region, indexed by `pc - start`.
+struct Segment {
+    start: u64,
+    end: u64,
+    slots: Vec<Slot>,
+}
+
+impl Segment {
+    fn contains(&self, pc: u64) -> bool {
+        self.start <= pc && pc < self.end
+    }
+}
+
+/// A per-process predecoded-instruction cache (see the module docs).
+pub struct PredecodeCache {
+    /// The sandbox generation the segments were built against.
+    /// `u64::MAX` is unreachable (generations start at 0 and increment),
+    /// so a fresh cache always rebuilds on first fetch.
+    generation: u64,
+    segments: Vec<Segment>,
+    /// Index of the segment that served the last hit — straight-line
+    /// code stays inside one module for long runs, so this check almost
+    /// always short-circuits the segment search.
+    last_segment: usize,
+}
+
+impl Default for PredecodeCache {
+    fn default() -> Self {
+        PredecodeCache::new()
+    }
+}
+
+impl PredecodeCache {
+    /// An empty cache; the first fetch populates it.
+    pub fn new() -> Self {
+        PredecodeCache { generation: u64::MAX, segments: Vec::new(), last_segment: 0 }
+    }
+
+    /// Fetches the instruction at `pc`, serving from the side-table when
+    /// the sandbox generation proves the memoised decoding still valid.
+    ///
+    /// Returns `(inst, len, cost)` — bit-identical to what
+    /// `mem.check_exec(pc)` + `decode(mem.raw(), pc)` + `cost_of` would
+    /// produce right now.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the faults the uncached fetch path raises: `Unmapped` or
+    /// `ExecProtected` from the execute check, or a `DecodeError` at a
+    /// genuinely undecodable pc.
+    #[inline]
+    pub fn fetch(
+        &mut self,
+        mem: &Sandbox,
+        pc: u64,
+        stats: &mut VmStats,
+    ) -> Result<(Inst, u64, u64), VmError> {
+        // Hot path, kept small enough to inline into the run loop: the
+        // generation still matches, the pc is in the segment that served
+        // the last fetch, and its slot is filled. The wrapping subtract
+        // against the slot count is one unsigned compare doing double
+        // duty as the range test and the bounds-check elision.
+        if self.generation == mem.generation() {
+            if let Some(seg) = self.segments.get(self.last_segment) {
+                let off = pc.wrapping_sub(seg.start) as usize;
+                if off < seg.slots.len() {
+                    let slot = seg.slots[off];
+                    if slot.len != 0 {
+                        stats.icache_hits += 1;
+                        return Ok((slot.inst, u64::from(slot.len), u64::from(slot.cost)));
+                    }
+                }
+            }
+        }
+        self.fetch_slow(mem, pc, stats)
+    }
+
+    /// Everything the fast path could not serve: rebuilds after a
+    /// generation change, cross-segment transfers, and empty slots.
+    #[inline(never)]
+    fn fetch_slow(
+        &mut self,
+        mem: &Sandbox,
+        pc: u64,
+        stats: &mut VmStats,
+    ) -> Result<(Inst, u64, u64), VmError> {
+        if self.generation != mem.generation() {
+            self.rebuild(mem);
+            stats.icache_invalidations += 1;
+        }
+        if let Some(idx) = self.segment_index(pc) {
+            self.last_segment = idx;
+            let seg = &mut self.segments[idx];
+            let off = (pc - seg.start) as usize;
+            let slot = seg.slots[off];
+            if slot.len != 0 {
+                stats.icache_hits += 1;
+                return Ok((slot.inst, u64::from(slot.len), u64::from(slot.cost)));
+            }
+            // A pc the eager sweep walked over — typically mid-instruction.
+            // The segment was built from an Rx region at the current
+            // generation, so the execute check is already answered; decode
+            // live and memoise for the next visit.
+            stats.icache_misses += 1;
+            let (inst, len) = decode(mem.raw(), pc as usize)?;
+            let cost = cost_of(&inst);
+            if pc + len as u64 <= seg.end {
+                seg.slots[off] = Slot { inst, len: len as u8, cost: cost as u32 };
+            }
+            return Ok((inst, len as u64, cost));
+        }
+        // Outside every executable region: defer to the real checks so the
+        // caller sees the exact uncached fault (Unmapped/ExecProtected).
+        stats.icache_misses += 1;
+        mem.check_exec(pc)?;
+        let (inst, len) = decode(mem.raw(), pc as usize)?;
+        Ok((inst, len as u64, cost_of(&inst)))
+    }
+
+    fn segment_index(&self, pc: u64) -> Option<usize> {
+        if let Some(seg) = self.segments.get(self.last_segment) {
+            if seg.contains(pc) {
+                return Some(self.last_segment);
+            }
+        }
+        self.segments.iter().position(|s| s.contains(pc))
+    }
+
+    /// Rebuilds every segment from the sandbox's current executable
+    /// regions, eagerly sweeping each one into its side-table.
+    fn rebuild(&mut self, mem: &Sandbox) {
+        self.generation = mem.generation();
+        self.segments.clear();
+        self.last_segment = 0;
+        for r in mem.regions().iter().filter(|r| r.perm.executable()) {
+            let region_len = (r.end - r.start) as usize;
+            let mut slots = vec![Slot::EMPTY; region_len];
+            for (at, inst, len) in decode_sweep(mem.raw(), r.start as usize, r.end as usize) {
+                // Never memoise an instruction whose bytes spill past the
+                // region: the tail might live in writable memory, whose
+                // mutation would not bump the generation. Such a pc stays
+                // a permanent (correct, just slow) miss.
+                if at + len <= r.end as usize {
+                    slots[at - r.start as usize] =
+                        Slot { inst, len: len as u8, cost: cost_of(&inst) as u32 };
+                }
+            }
+            self.segments.push(Segment { start: r.start, end: r.end, slots });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{MemFault, Perm};
+    use mcfi_machine::{encode, Reg};
+
+    fn stats() -> VmStats {
+        VmStats::default()
+    }
+
+    fn rx_sandbox(insts: &[Inst]) -> Sandbox {
+        let mut mem = Sandbox::new(0x1000);
+        mem.map(0, 0x100, Perm::Rw).unwrap();
+        mem.load_image(0, &encode(insts)).unwrap();
+        mem.protect(0, Perm::Rx).unwrap();
+        mem
+    }
+
+    #[test]
+    fn fetch_matches_pointwise_decode() {
+        let insts =
+            [Inst::MovImm { dst: Reg::Rax, imm: 7 }, Inst::Push { reg: Reg::Rax }, Inst::Ret];
+        let mem = rx_sandbox(&insts);
+        let mut cache = PredecodeCache::new();
+        let mut st = stats();
+        let mut pc = 0u64;
+        for inst in insts {
+            let (got, len, cost) = cache.fetch(&mem, pc, &mut st).unwrap();
+            assert_eq!(got, inst);
+            assert_eq!(cost, cost_of(&inst));
+            pc += len;
+        }
+        assert_eq!(st.icache_invalidations, 1, "one eager build");
+        assert_eq!(st.icache_hits, 3, "eager sweep prefilled every aligned pc");
+    }
+
+    #[test]
+    fn mid_instruction_pc_is_a_miss_then_a_hit() {
+        // pc 2 is inside the MovImm immediate; the eager sweep skips it,
+        // but a gadget-hunting fetch there must still decode live.
+        let mem = rx_sandbox(&[
+            Inst::MovImm { dst: Reg::Rax, imm: 0x16 }, // 0x16 = Ret opcode
+            Inst::Ret,
+        ]);
+        let mut cache = PredecodeCache::new();
+        let mut st = stats();
+        let (inst, _, _) = cache.fetch(&mem, 2, &mut st).unwrap();
+        assert_eq!(inst, Inst::Ret, "decoding inside the immediate yields the gadget");
+        assert_eq!(st.icache_misses, 1);
+        let _ = cache.fetch(&mem, 2, &mut st).unwrap();
+        assert_eq!(st.icache_hits, 1, "the lazy fill memoised the gadget pc");
+    }
+
+    #[test]
+    fn generation_bump_rebuilds_and_sees_new_bytes() {
+        let mut mem = rx_sandbox(&[Inst::Nop, Inst::Ret]);
+        let mut cache = PredecodeCache::new();
+        let mut st = stats();
+        assert_eq!(cache.fetch(&mem, 0, &mut st).unwrap().0, Inst::Nop);
+
+        // Loader-style patch: flip writable, rewrite, flip back.
+        mem.protect(0, Perm::Rw).unwrap();
+        mem.load_image(0, &encode(&[Inst::Ret])).unwrap();
+        mem.protect(0, Perm::Rx).unwrap();
+
+        let (inst, _, _) = cache.fetch(&mem, 0, &mut st).unwrap();
+        assert_eq!(inst, Inst::Ret, "patched byte must be re-decoded");
+        assert_eq!(st.icache_invalidations, 2);
+    }
+
+    #[test]
+    fn faults_match_the_uncached_path() {
+        let mut mem = Sandbox::new(0x1000);
+        mem.map(0, 0x100, Perm::Rw).unwrap();
+        let mut cache = PredecodeCache::new();
+        let mut st = stats();
+        assert!(matches!(
+            cache.fetch(&mem, 0x10, &mut st),
+            Err(VmError::Mem(MemFault::ExecProtected { .. }))
+        ));
+        assert!(matches!(
+            cache.fetch(&mem, 0x800, &mut st),
+            Err(VmError::Mem(MemFault::Unmapped { .. }))
+        ));
+    }
+
+    #[test]
+    fn data_writes_do_not_invalidate() {
+        let mut mem = rx_sandbox(&[Inst::Nop, Inst::Ret]);
+        mem.map(0x200, 0x100, Perm::Rw).unwrap();
+        let mut cache = PredecodeCache::new();
+        let mut st = stats();
+        let _ = cache.fetch(&mem, 0, &mut st).unwrap();
+        mem.write64(0x200, 0xdead).unwrap();
+        let _ = cache.fetch(&mem, 1, &mut st).unwrap();
+        assert_eq!(st.icache_invalidations, 1, "store to data must not rebuild the cache");
+    }
+}

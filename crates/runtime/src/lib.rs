@@ -17,12 +17,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod icache;
 pub mod mem;
 pub mod process;
 pub mod stdlib;
 pub mod synth;
 pub mod vm;
 
+pub use icache::PredecodeCache;
 pub use process::{Layout, LoadError, Outcome, Process, ProcessOptions, RunResult};
 pub use vm::{Event, Vm, VmError, VmStats};
 
@@ -43,7 +45,11 @@ mod tests {
     }
 
     fn boot_with(src: &str, opts: &CodegenOptions) -> Process {
-        let mut p = Process::new(ProcessOptions::default());
+        boot_full(src, opts, ProcessOptions::default())
+    }
+
+    fn boot_full(src: &str, opts: &CodegenOptions, popts: ProcessOptions) -> Process {
+        let mut p = Process::new(popts);
         let stubs = synth::syscall_module();
         let libms = compile_source("libms", stdlib::LIBMS_SRC, opts).unwrap();
         let start = compile_source("start", stdlib::START_SRC, opts).unwrap();
@@ -243,7 +249,7 @@ mod tests {
             .run_with_attacker("__start", move |_step, mem, regs| {
                 // Scribble over the top of the stack on every step: any
                 // saved return address becomes a pointer to main's entry.
-                let rsp = regs[4] as usize; // Rsp
+                let rsp = regs[mcfi_machine::Reg::Rsp.index()] as usize;
                 if rsp >= stack_lo && rsp + 64 <= mem.len() {
                     for w in (rsp..rsp + 64).step_by(8) {
                         mem[w..w + 8].copy_from_slice(&target.to_le_bytes());
@@ -415,6 +421,127 @@ mod tests {
         );
         let err = p.load(m).unwrap_err();
         assert!(matches!(err, LoadError::Unresolved(ref n) if n == "ghost"), "{err}");
+    }
+
+    /// Every observable field of a run must be byte-identical with the
+    /// predecode cache on and off — the cache is a pure fetch memo.
+    fn assert_observably_identical(cached: &RunResult, uncached: &RunResult, what: &str) {
+        assert_eq!(cached.outcome, uncached.outcome, "{what}: outcome");
+        assert_eq!(cached.steps, uncached.steps, "{what}: steps");
+        assert_eq!(cached.cycles, uncached.cycles, "{what}: cycles");
+        assert_eq!(cached.checks, uncached.checks, "{what}: checks");
+        assert_eq!(cached.indirect_taken, uncached.indirect_taken, "{what}: indirect_taken");
+        assert_eq!(cached.stdout, uncached.stdout, "{what}: stdout");
+        assert_eq!(cached.updates, uncached.updates, "{what}: updates");
+        assert_eq!(uncached.icache_hits, 0, "{what}: uncached runs must not touch the cache");
+        assert!(cached.icache_hits > 0, "{what}: cached runs must actually hit");
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_are_observably_identical() {
+        let programs: &[(&str, &str)] = &[
+            ("trivial", "int main(void) { return 42; }"),
+            (
+                "fib",
+                "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+                 int main(void) { return fib(12); }",
+            ),
+            (
+                "indirect",
+                "int twice(int x) { return x * 2; }\n\
+                 int main(void) { int (*f)(int); f = &twice; return f(21); }",
+            ),
+            (
+                "switch",
+                "int classify(int x) {\n\
+                   switch (x) { case 0: return 10; case 1: return 20; default: return -1; }\n\
+                   return 0;\n\
+                 }\n\
+                 int main(void) { return classify(1) + classify(7); }",
+            ),
+            (
+                "stdout",
+                "int puts(char* s);\nint main(void) { puts(\"hello mcfi\"); return 0; }",
+            ),
+            (
+                "violation",
+                "float fsq(float x) { return x * x; }\n\
+                 int main(void) {\n\
+                   void* raw = (void*)&fsq;\n\
+                   int (*f)(int) = (int(*)(int))raw;\n\
+                   return f(3);\n\
+                 }",
+            ),
+        ];
+        for (name, src) in programs {
+            let opts = CodegenOptions::default();
+            let cached = boot_full(src, &opts, ProcessOptions::default()).run("__start").unwrap();
+            let uncached =
+                boot_full(src, &opts, ProcessOptions { predecode: false, ..Default::default() })
+                    .run("__start")
+                    .unwrap();
+            assert_observably_identical(&cached, &uncached, name);
+        }
+    }
+
+    #[test]
+    fn dlopen_code_patching_is_identical_cached_and_uncached() {
+        // The invalidation stress: dlopen maps code writable, patches it
+        // (relocations, Bary-slot immediates, GOT binding during the
+        // update transaction), and flips it executable — all after the
+        // cache has been built and PLT code has already executed. The
+        // cached run must re-decode everything the loader touched.
+        let src = "int provided(int x);\n\
+                   int dlopen(char* name);\n\
+                   int main(void) {\n\
+                     int ok = dlopen(\"libm2\");\n\
+                     if (!ok) { return -1; }\n\
+                     int r = provided(5);\n\
+                     return r;\n\
+                   }";
+        let run_mode = |predecode: bool| {
+            let lib = compile("libm2", "int provided(int x) { return x + 100; }");
+            let mut p = boot_full(
+                src,
+                &CodegenOptions::default(),
+                ProcessOptions { predecode, ..Default::default() },
+            );
+            p.register_library("libm2", lib);
+            p.run("__start").unwrap()
+        };
+        let cached = run_mode(true);
+        let uncached = run_mode(false);
+        assert_eq!(cached.outcome, Outcome::Exit { code: 105 }, "stdout: {}", cached.stdout);
+        assert_observably_identical(&cached, &uncached, "plt-after-dlopen");
+        assert!(
+            cached.icache_invalidations >= 2,
+            "the initial build plus the dlopen must each rebuild, got {}",
+            cached.icache_invalidations
+        );
+    }
+
+    #[test]
+    fn run_with_updates_is_identical_cached_and_uncached() {
+        let src = "int work(int x) { return x * 2 + 1; }\n\
+                   int main(void) {\n\
+                     int acc = 0; int i = 0;\n\
+                     int (*f)(int) = &work;\n\
+                     while (i < 500) { acc = acc + f(i); i = i + 1; }\n\
+                     return acc % 97;\n\
+                   }";
+        let run_mode = |predecode: bool| {
+            boot_full(
+                src,
+                &CodegenOptions::default(),
+                ProcessOptions { predecode, ..Default::default() },
+            )
+            .run_with_updates("__start", 5_000, 200)
+            .unwrap()
+        };
+        let cached = run_mode(true);
+        let uncached = run_mode(false);
+        assert!(cached.updates > 0, "the scripted updater must fire");
+        assert_observably_identical(&cached, &uncached, "scripted-updates");
     }
 
     #[test]

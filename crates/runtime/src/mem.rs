@@ -6,6 +6,7 @@
 //! writes into; in this reproduction its backing store is a smaller
 //! configurable buffer, with every access bounds- and permission-checked.
 
+use core::cell::Cell;
 use core::fmt;
 
 /// Region permissions.
@@ -85,12 +86,37 @@ impl std::error::Error for MemFault {}
 pub struct Sandbox {
     bytes: Vec<u8>,
     regions: Vec<Region>,
+    /// Code-visibility generation: bumped by every operation that can
+    /// change what an instruction fetch observes — mapping or
+    /// reprotecting regions, loader image writes, and raw mutable
+    /// access. Ordinary `write8`/`write64` do *not* bump it: W^X
+    /// guarantees they can never touch executable bytes, so cached
+    /// decodings stay valid across them. Consumers (the predecode
+    /// cache) compare this against the generation they were built at.
+    generation: u64,
+    /// Index of the region that served the last data access. Data
+    /// traffic clusters on the stack, so this short-circuits the linear
+    /// region scan almost every time. Regions are only ever appended
+    /// (never removed, never resized), so the hint can go stale —
+    /// costing one full scan — but never wrong.
+    data_hint: Cell<usize>,
 }
 
 impl Sandbox {
     /// Creates a sandbox backed by `size` bytes (all initially unmapped).
     pub fn new(size: usize) -> Self {
-        Sandbox { bytes: vec![0; size], regions: Vec::new() }
+        Sandbox {
+            bytes: vec![0; size],
+            regions: Vec::new(),
+            generation: 0,
+            data_hint: Cell::new(usize::MAX),
+        }
+    }
+
+    /// The current code-visibility generation (see the field docs).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Total backing size.
@@ -113,6 +139,7 @@ impl Sandbox {
             return Err(MemFault::Unmapped { addr: start });
         }
         self.regions.push(Region { start, end, perm });
+        self.generation += 1;
         Ok(())
     }
 
@@ -130,6 +157,7 @@ impl Sandbox {
             .find(|r| r.start == start)
             .ok_or(MemFault::Unmapped { addr: start })?;
         r.perm = perm;
+        self.generation += 1;
         Ok(())
     }
 
@@ -143,9 +171,23 @@ impl Sandbox {
         &self.regions
     }
 
+    /// Region lookup through a last-hit hint cell.
+    #[inline]
+    fn find_region(&self, addr: u64, hint: &Cell<usize>) -> Option<Region> {
+        if let Some(r) = self.regions.get(hint.get()) {
+            if r.start <= addr && addr < r.end {
+                return Some(*r);
+            }
+        }
+        let idx = self.regions.iter().position(|r| r.start <= addr && addr < r.end)?;
+        hint.set(idx);
+        Some(self.regions[idx])
+    }
+
+    #[inline]
     fn check(&self, addr: u64, len: u64, write: bool) -> Result<(), MemFault> {
         let end = addr.checked_add(len).ok_or(MemFault::Unmapped { addr })?;
-        let r = self.region_of(addr).ok_or(MemFault::Unmapped { addr })?;
+        let r = self.find_region(addr, &self.data_hint).ok_or(MemFault::Unmapped { addr })?;
         if end > r.end {
             return Err(MemFault::Unmapped { addr: r.end });
         }
@@ -160,6 +202,7 @@ impl Sandbox {
     /// # Errors
     ///
     /// Returns a fault on unmapped access.
+    #[inline]
     pub fn read8(&self, addr: u64) -> Result<u8, MemFault> {
         self.check(addr, 1, false)?;
         Ok(self.bytes[addr as usize])
@@ -170,6 +213,7 @@ impl Sandbox {
     /// # Errors
     ///
     /// Returns a fault on unmapped access.
+    #[inline]
     pub fn read64(&self, addr: u64) -> Result<u64, MemFault> {
         self.check(addr, 8, false)?;
         let a = addr as usize;
@@ -181,6 +225,7 @@ impl Sandbox {
     /// # Errors
     ///
     /// Returns a fault on unmapped or protected access.
+    #[inline]
     pub fn write8(&mut self, addr: u64, v: u8) -> Result<(), MemFault> {
         self.check(addr, 1, true)?;
         self.bytes[addr as usize] = v;
@@ -192,6 +237,7 @@ impl Sandbox {
     /// # Errors
     ///
     /// Returns a fault on unmapped or protected access.
+    #[inline]
     pub fn write64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
         self.check(addr, 8, true)?;
         let a = addr as usize;
@@ -220,6 +266,7 @@ impl Sandbox {
             return Err(MemFault::OutOfMemory);
         }
         self.bytes[addr as usize..end].copy_from_slice(bytes);
+        self.generation += 1;
         Ok(())
     }
 
@@ -249,6 +296,9 @@ impl Sandbox {
     /// threat model: "the attacker can corrupt writable memory between
     /// any two instructions", §4).
     pub fn raw_mut(&mut self) -> &mut [u8] {
+        // The caller may rewrite any byte, executable ones included, so
+        // every cached decoding is suspect afterwards.
+        self.generation += 1;
         &mut self.bytes
     }
 
@@ -324,6 +374,32 @@ mod tests {
         m.map(0, 0x100, Perm::Rw).unwrap();
         m.load_image(0x10, b"hello\0").unwrap();
         assert_eq!(m.read_cstr(0x10).unwrap(), "hello");
+    }
+
+    #[test]
+    fn generation_tracks_code_visible_changes() {
+        let mut m = Sandbox::new(0x1000);
+        let g0 = m.generation();
+        m.map(0, 0x100, Perm::Rw).unwrap();
+        let g1 = m.generation();
+        assert!(g1 > g0, "map must bump the generation");
+        m.load_image(0, &[1, 2, 3]).unwrap();
+        let g2 = m.generation();
+        assert!(g2 > g1, "load_image must bump the generation");
+        m.protect(0, Perm::Rx).unwrap();
+        let g3 = m.generation();
+        assert!(g3 > g2, "protect must bump the generation");
+        let _ = m.raw_mut();
+        let g4 = m.generation();
+        assert!(g4 > g3, "raw_mut must bump the generation");
+
+        // Data writes cannot touch executable bytes (W^X), so they do
+        // not invalidate cached decodings.
+        m.map(0x200, 0x100, Perm::Rw).unwrap();
+        let g5 = m.generation();
+        m.write64(0x200, 42).unwrap();
+        m.write8(0x208, 7).unwrap();
+        assert_eq!(m.generation(), g5, "data writes must not bump the generation");
     }
 
     #[test]

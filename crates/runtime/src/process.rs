@@ -19,6 +19,7 @@ use mcfi_linker::build_plt_stub;
 use mcfi_module::{Module, RelocKind};
 use mcfi_tables::{IdTables, TablesConfig};
 
+use crate::icache::PredecodeCache;
 use crate::mem::{Perm, Sandbox};
 use crate::synth::Sys;
 use crate::vm::{Event, Vm, VmError};
@@ -65,11 +66,22 @@ pub struct ProcessOptions {
     pub max_steps: u64,
     /// Maximum Bary slots (indirect branches) across all loaded modules.
     pub bary_capacity: usize,
+    /// Whether [`Process::run`] and [`Process::run_with_updates`] fetch
+    /// through the predecoded-instruction cache (see [`crate::icache`]).
+    /// Architecturally invisible either way; disable to A/B the cost of
+    /// per-step decoding. [`Process::run_with_attacker`] always runs
+    /// uncached, since the attacker rewrites raw memory between steps.
+    pub predecode: bool,
 }
 
 impl Default for ProcessOptions {
     fn default() -> Self {
-        ProcessOptions { layout: Layout::default(), max_steps: 500_000_000, bary_capacity: 1 << 16 }
+        ProcessOptions {
+            layout: Layout::default(),
+            max_steps: 500_000_000,
+            bary_capacity: 1 << 16,
+            predecode: true,
+        }
     }
 }
 
@@ -107,6 +119,12 @@ pub struct RunResult {
     pub checks: u64,
     /// Indirect branches taken.
     pub indirect_taken: u64,
+    /// Predecode-cache hits (zero on uncached runs).
+    pub icache_hits: u64,
+    /// Predecode-cache misses (zero on uncached runs).
+    pub icache_misses: u64,
+    /// Predecode-cache rebuilds forced by loader activity.
+    pub icache_invalidations: u64,
     /// Whether control ever reached `execve` (the §8.3 case study probe).
     pub execve_reached: bool,
     /// Update transactions executed during the run (dlopens).
@@ -173,6 +191,9 @@ pub struct Process {
     updates: u64,
     /// Published cycle counter (for external updater threads).
     cycles_shared: Arc<AtomicU64>,
+    /// Predecoded-instruction cache for the cached run loops. Kept on
+    /// the process so its side-tables survive across consecutive runs.
+    icache: PredecodeCache,
 }
 
 impl Process {
@@ -208,6 +229,7 @@ impl Process {
             execve_reached: false,
             updates: 0,
             cycles_shared: Arc::new(AtomicU64::new(0)),
+            icache: PredecodeCache::new(),
         }
     }
 
@@ -602,13 +624,70 @@ impl Process {
         generate(&placed)
     }
 
+    /// Prepares a VM positioned at exported function `entry` and resets
+    /// the per-run process state.
+    fn start_vm(&mut self, entry: &str) -> Result<Vm, LoadError> {
+        let pc = self.symbol(entry).ok_or_else(|| LoadError::Unresolved(entry.to_string()))?;
+        let mut vm = Vm::new(pc);
+        vm.regs[mcfi_machine::Reg::Rsp.index()] = self.opts.layout.stack_top;
+        self.stdout.clear();
+        self.execve_reached = false;
+        Ok(vm)
+    }
+
+    fn finish_run(&self, outcome: Outcome, vm: &Vm, start_updates: u64) -> RunResult {
+        self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
+        RunResult {
+            outcome,
+            stdout: String::from_utf8_lossy(&self.stdout).into_owned(),
+            steps: vm.stats.steps,
+            cycles: vm.stats.cycles,
+            checks: vm.stats.checks,
+            indirect_taken: vm.stats.indirect_taken,
+            icache_hits: vm.stats.icache_hits,
+            icache_misses: vm.stats.icache_misses,
+            icache_invalidations: vm.stats.icache_invalidations,
+            execve_reached: self.execve_reached,
+            updates: self.updates - start_updates,
+        }
+    }
+
     /// Runs exported function `entry` (typically `__start`).
+    ///
+    /// With `predecode` enabled (the default), instruction fetch goes
+    /// through the predecode cache; the observable result — outcome,
+    /// stdout, steps, cycles, checks — is identical either way.
     ///
     /// # Errors
     ///
     /// Fails if `entry` is not an exported function of a loaded module.
     pub fn run(&mut self, entry: &str) -> Result<RunResult, LoadError> {
-        self.run_with_attacker(entry, |_, _, _| {})
+        if !self.opts.predecode {
+            return self.run_with_attacker(entry, |_, _, _| {});
+        }
+        let mut vm = self.start_vm(entry)?;
+        let start_updates = self.updates;
+
+        let outcome = loop {
+            if vm.stats.steps >= self.opts.max_steps {
+                break Outcome::StepLimit;
+            }
+            if vm.stats.steps.is_multiple_of(1024) {
+                self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
+            }
+            match vm.step_cached(&mut self.mem, &self.tables, &mut self.icache) {
+                Ok(Event::Continue) => {}
+                Ok(Event::Halt { pc }) => break Outcome::CfiViolation { pc },
+                Ok(Event::Syscall) => match self.syscall(&mut vm) {
+                    SysOutcome::Continue => {}
+                    SysOutcome::Exit(code) => break Outcome::Exit { code },
+                    SysOutcome::Fault(msg) => break Outcome::Fault(msg),
+                },
+                Err(VmError::StepLimit) => break Outcome::StepLimit,
+                Err(e) => break Outcome::Fault(e.to_string()),
+            }
+        };
+        Ok(self.finish_run(outcome, &vm, start_updates))
     }
 
     /// Runs `entry` under the paper's concurrent-attacker model (§4): the
@@ -625,11 +704,7 @@ impl Process {
         entry: &str,
         mut attacker: impl FnMut(u64, &mut [u8], &[u64; 16]),
     ) -> Result<RunResult, LoadError> {
-        let pc = self.symbol(entry).ok_or_else(|| LoadError::Unresolved(entry.to_string()))?;
-        let mut vm = Vm::new(pc);
-        vm.regs[mcfi_machine::Reg::Rsp.nibble() as usize] = self.opts.layout.stack_top;
-        self.stdout.clear();
-        self.execve_reached = false;
+        let mut vm = self.start_vm(entry)?;
         let start_updates = self.updates;
 
         let outcome = loop {
@@ -652,18 +727,7 @@ impl Process {
                 Err(e) => break Outcome::Fault(e.to_string()),
             }
         };
-        self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
-
-        Ok(RunResult {
-            outcome,
-            stdout: String::from_utf8_lossy(&self.stdout).into_owned(),
-            steps: vm.stats.steps,
-            cycles: vm.stats.cycles,
-            checks: vm.stats.checks,
-            indirect_taken: vm.stats.indirect_taken,
-            execve_reached: self.execve_reached,
-            updates: self.updates - start_updates,
-        })
+        Ok(self.finish_run(outcome, &vm, start_updates))
     }
 
     /// Runs `entry` with update transactions scripted at exact simulated
@@ -684,11 +748,7 @@ impl Process {
         interval: u64,
         duration: u64,
     ) -> Result<RunResult, LoadError> {
-        let pc = self.symbol(entry).ok_or_else(|| LoadError::Unresolved(entry.to_string()))?;
-        let mut vm = Vm::new(pc);
-        vm.regs[mcfi_machine::Reg::Rsp.nibble() as usize] = self.opts.layout.stack_top;
-        self.stdout.clear();
-        self.execve_reached = false;
+        let mut vm = self.start_vm(entry)?;
         let start_updates = self.updates;
 
         let tables = Arc::clone(&self.tables);
@@ -710,7 +770,14 @@ impl Process {
                 in_flight = Some(tables.bump_version_split());
                 commit_at = vm.stats.cycles + duration;
             }
-            match vm.step(&mut self.mem, &self.tables) {
+            // Table version churn never touches code bytes, so the
+            // predecode cache is as valid here as in a quiet run.
+            let stepped = if self.opts.predecode {
+                vm.step_cached(&mut self.mem, &self.tables, &mut self.icache)
+            } else {
+                vm.step(&mut self.mem, &self.tables)
+            };
+            match stepped {
                 Ok(Event::Continue) => {}
                 Ok(Event::Halt { pc }) => break Outcome::CfiViolation { pc },
                 Ok(Event::Syscall) => match self.syscall(&mut vm) {
@@ -726,18 +793,7 @@ impl Process {
             b.finish();
             self.updates += 1;
         }
-        self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
-
-        Ok(RunResult {
-            outcome,
-            stdout: String::from_utf8_lossy(&self.stdout).into_owned(),
-            steps: vm.stats.steps,
-            cycles: vm.stats.cycles,
-            checks: vm.stats.checks,
-            indirect_taken: vm.stats.indirect_taken,
-            execve_reached: self.execve_reached,
-            updates: self.updates - start_updates,
-        })
+        Ok(self.finish_run(outcome, &vm, start_updates))
     }
 
     fn syscall(&mut self, vm: &mut Vm) -> SysOutcome {

@@ -13,6 +13,7 @@ use std::fmt;
 use mcfi_machine::{cost_of, decode, AluOp, Cond, DecodeError, FaluOp, Inst, Reg};
 use mcfi_tables::IdTables;
 
+use crate::icache::PredecodeCache;
 use crate::mem::{MemFault, Sandbox};
 
 /// A VM-level execution error (distinct from a clean exit or a CFI halt).
@@ -88,6 +89,13 @@ pub struct VmStats {
     pub checks: u64,
     /// Indirect branches actually taken.
     pub indirect_taken: u64,
+    /// Predecode-cache hits (fetches served from the side-table).
+    pub icache_hits: u64,
+    /// Predecode-cache misses (fetches that fell back to a live decode).
+    pub icache_misses: u64,
+    /// Predecode-cache rebuilds forced by a sandbox generation change
+    /// (module loads, reprotections, loader patches).
+    pub icache_invalidations: u64,
 }
 
 /// The machine state.
@@ -142,7 +150,11 @@ impl Vm {
         Ok(v)
     }
 
-    /// Executes one instruction.
+    /// Executes one instruction, decoding it from memory every step.
+    ///
+    /// This is the fetch path the concurrent-attacker harness must use:
+    /// the attacker mutates raw memory between steps, so nothing about
+    /// the code bytes may be assumed stable.
     ///
     /// # Errors
     ///
@@ -151,9 +163,44 @@ impl Vm {
     pub fn step(&mut self, mem: &mut Sandbox, tables: &IdTables) -> Result<Event, VmError> {
         mem.check_exec(self.pc)?;
         let (inst, len) = decode(mem.raw(), self.pc as usize)?;
+        let cost = cost_of(&inst);
+        self.execute(mem, tables, inst, len as u64, cost)
+    }
+
+    /// Executes one instruction, fetching through the predecode cache.
+    ///
+    /// Produces exactly the same architectural effects as [`Vm::step`]
+    /// for any pc: the cache memoises `check_exec` + `decode` results
+    /// keyed by the sandbox's code generation, falling back to a live
+    /// decode whenever it cannot prove the memoised answer still holds.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Vm::step`].
+    #[inline]
+    pub fn step_cached(
+        &mut self,
+        mem: &mut Sandbox,
+        tables: &IdTables,
+        cache: &mut PredecodeCache,
+    ) -> Result<Event, VmError> {
+        let (inst, len, cost) = cache.fetch(mem, self.pc, &mut self.stats)?;
+        self.execute(mem, tables, inst, len, cost)
+    }
+
+    /// Applies one already-fetched instruction to the machine state.
+    #[inline]
+    fn execute(
+        &mut self,
+        mem: &mut Sandbox,
+        tables: &IdTables,
+        inst: Inst,
+        len: u64,
+        cost: u64,
+    ) -> Result<Event, VmError> {
         self.stats.steps += 1;
-        self.stats.cycles += cost_of(&inst);
-        let mut next = self.pc + len as u64;
+        self.stats.cycles += cost;
+        let mut next = self.pc + len;
         match inst {
             Inst::MovImm { dst, imm } => self.set_reg(dst, imm as u64),
             Inst::MovReg { dst, src } => self.set_reg(dst, self.reg(src)),

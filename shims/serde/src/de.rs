@@ -1,0 +1,687 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be deserialized from any data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful deserialization seed.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes the value.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// Visits values produced by a [`Deserializer`].
+#[allow(unused_variables)]
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected bool"))
+    }
+    /// Visits an `i8`.
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Visits an `i16`.
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Visits an `i32`.
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Visits an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected integer"))
+    }
+    /// Visits a `u8`.
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Visits a `u16`.
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Visits a `u32`.
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Visits a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unsigned integer"))
+    }
+    /// Visits an `f32`.
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(f64::from(v))
+    }
+    /// Visits an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected float"))
+    }
+    /// Visits a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected char"))
+    }
+    /// Visits a transient string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected string"))
+    }
+    /// Visits a string slice borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visits transient bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected bytes"))
+    }
+    /// Visits bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Visits an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Visits `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+    /// Visits `Option::Some`.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom("unexpected some"))
+    }
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unit"))
+    }
+    /// Visits a newtype struct.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom("unexpected newtype struct"))
+    }
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected sequence"))
+    }
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected map"))
+    }
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected enum"))
+    }
+}
+
+/// Provides the elements of a sequence to a [`Visitor`].
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Deserializes the next element with a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Deserializes the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining-length hint.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Provides the entries of a map to a [`Visitor`].
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Deserializes the next key with a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Deserializes the next value with a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    /// Deserializes the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    /// Remaining-length hint.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Provides the variant of an enum to a [`Visitor`].
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Accessor for the variant's contents.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Deserializes the variant discriminant with a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Deserializes the variant discriminant.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Provides the contents of an enum variant to a [`Visitor`].
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// A unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// A newtype variant, with a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    /// A newtype variant.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// A tuple variant.
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+    /// A struct variant.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// A data format that can deserialize any supported data structure.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Requests any value (self-describing formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Requests a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Requests a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Requests a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Requests a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Requests an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Requests a field/variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Requests that a value be skipped.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+    /// Whether the format is human-readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Conversion of a plain value into a [`Deserializer`] over it.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The resulting deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wraps `self`.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// A deserializer holding one `u32` (used for enum variant indexes).
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+macro_rules! u32_forward {
+    ($($method:ident)*) => {$(
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    )*};
+}
+
+impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+
+    u32_forward! {
+        deserialize_any deserialize_bool
+        deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+        deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64
+        deserialize_f32 deserialize_f64 deserialize_char
+        deserialize_str deserialize_string deserialize_bytes deserialize_byte_buf
+        deserialize_option deserialize_unit deserialize_seq deserialize_map
+        deserialize_identifier deserialize_ignored_any
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer { value: self, marker: PhantomData }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty, $request:ident, $visit:ident;)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$request(V)
+            }
+        }
+    )*};
+}
+
+primitive_deserialize! {
+    bool, deserialize_bool, visit_bool;
+    i8, deserialize_i8, visit_i8;
+    i16, deserialize_i16, visit_i16;
+    i32, deserialize_i32, visit_i32;
+    i64, deserialize_i64, visit_i64;
+    u8, deserialize_u8, visit_u8;
+    u16, deserialize_u16, visit_u16;
+    u32, deserialize_u32, visit_u32;
+    u64, deserialize_u64, visit_u64;
+    f32, deserialize_f32, visit_f32;
+    f64, deserialize_f64, visit_f64;
+    char, deserialize_char, visit_char;
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("usize")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom("usize overflow"))
+            }
+        }
+        deserializer.deserialize_u64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("isize")
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom("isize overflow"))
+            }
+        }
+        deserializer.deserialize_i64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for V<T> {
+            type Value = std::collections::BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeSet::new();
+                while let Some(item) = seq.next_element()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + std::hash::Hash> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Eq + std::hash::Hash> Visitor<'de> for V<T> {
+            type Value = std::collections::HashSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashSet::new();
+                while let Some(item) = seq.next_element()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+macro_rules! map_deserialize {
+    ($map:ident, $($bound:tt)*) => {
+        impl<'de, K: Deserialize<'de> + $($bound)*, V2: Deserialize<'de>> Deserialize<'de>
+            for std::collections::$map<K, V2>
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V<K, V2>(PhantomData<(K, V2)>);
+                impl<'de, K: Deserialize<'de> + $($bound)*, V2: Deserialize<'de>> Visitor<'de>
+                    for V<K, V2>
+                {
+                    type Value = std::collections::$map<K, V2>;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a map")
+                    }
+                    fn visit_map<A: MapAccess<'de>>(
+                        self,
+                        mut map: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut out = std::collections::$map::<K, V2>::default();
+                        while let Some(key) = map.next_key()? {
+                            let value = map.next_value()?;
+                            out.insert(key, value);
+                        }
+                        Ok(out)
+                    }
+                }
+                deserializer.deserialize_map(V(PhantomData))
+            }
+        }
+    };
+}
+
+map_deserialize!(BTreeMap, Ord);
+map_deserialize!(HashMap, Eq + std::hash::Hash);
+
+macro_rules! tuple_deserialize {
+    ($len:expr => $($name:ident),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                struct V<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a tuple")
+                    }
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        Ok(($(
+                            match seq.next_element::<$name>()? {
+                                Some(v) => v,
+                                None => return Err(Acc::Error::custom("tuple too short")),
+                            },
+                        )+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_deserialize!(1 => A);
+tuple_deserialize!(2 => A, B);
+tuple_deserialize!(3 => A, B, C);
+tuple_deserialize!(4 => A, B, C, D);
+tuple_deserialize!(5 => A, B, C, D, E);
+tuple_deserialize!(6 => A, B, C, D, E, F);

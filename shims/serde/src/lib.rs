@@ -1,0 +1,16 @@
+//! Minimal in-tree stand-in for the `serde` data model.
+//!
+//! Provides the `Serialize`/`Deserialize` traits, the full
+//! `Serializer`/`Deserializer` trait pair (the 29-method data model that
+//! `mcfi-module::wire` implements its binary codec against), visitor and
+//! access traits, impls for the std types this workspace serializes, and
+//! re-exported derive macros. See `shims/README.md` for scope.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

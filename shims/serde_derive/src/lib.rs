@@ -1,0 +1,478 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementation.
+//!
+//! The build environment has no registry access, so this crate re-implements
+//! just enough of serde's derive macros for the item shapes this workspace
+//! uses: non-generic structs with named fields, and non-generic enums with
+//! unit, newtype, tuple, and struct variants. Parsing is done directly on
+//! the `proc_macro::TokenStream` (no `syn`/`quote`), and only field names
+//! and arities are extracted — the wire codec is positional, so field types
+//! never need to be spelled out in the generated code.
+//!
+//! Unsupported shapes (tuple structs, generics, `#[serde(...)]` attributes)
+//! panic with a clear message at expansion time rather than mis-compiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: the field names, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this arity (arity 1 is serde's "newtype" variant).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("derive(Serialize) generated invalid code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("derive(Deserialize) generated invalid code")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let is_enum = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the `[...]` attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {} // visibility and its optional `(crate)` restriction
+            None => panic!("derive input contained no struct or enum"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body = g.stream();
+            let kind = if is_enum {
+                Kind::Enum(parse_variants(body))
+            } else {
+                Kind::Struct(parse_named_fields(body))
+            };
+            Item { name, kind }
+        }
+        other => panic!(
+            "derive shim supports only braced structs and enums (`{name}` is followed by {other:?})"
+        ),
+    }
+}
+
+/// Skips any `#[...]` attributes (including doc comments) at the cursor.
+fn skip_attributes(iter: &mut TokenIter) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next();
+    }
+}
+
+/// Skips a `pub` / `pub(crate)`-style visibility at the cursor.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes one type, stopping after a top-level `,` (angle brackets tracked
+/// so commas inside generic arguments don't split the type).
+fn skip_type(iter: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("unexpected token in struct body: {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&mut iter);
+    }
+    fields
+}
+
+fn count_tuple_types(body: TokenStream) -> usize {
+    let mut iter = body.into_iter().peekable();
+    let mut count = 0;
+    while iter.peek().is_some() {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut iter);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("unexpected token in enum body: {other:?}"),
+        };
+        let group = match iter.peek() {
+            Some(TokenTree::Group(g)) => Some((g.delimiter(), g.stream())),
+            _ => None,
+        };
+        let kind = match group {
+            Some((Delimiter::Parenthesis, stream)) => {
+                iter.next();
+                VariantKind::Tuple(count_tuple_types(stream))
+            }
+            Some((Delimiter::Brace, stream)) => {
+                iter.next();
+                VariantKind::Struct(parse_named_fields(stream))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut b = String::new();
+            let state = if fields.is_empty() { "__state" } else { "mut __state" };
+            b.push_str(&format!(
+                "let {state} = ::serde::Serializer::serialize_struct(\
+                     __serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                         &mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            b
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                             ::serde::Serializer::serialize_newtype_variant(\
+                                 __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __state = ::serde::Serializer::serialize_tuple_variant(\
+                                 __serializer, \"{name}\", {idx}u32, \"{vname}\", {arity}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                     &mut __state, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str(
+                            "::serde::ser::SerializeTupleVariant::end(__state)\n}\n",
+                        );
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __state = ::serde::Serializer::serialize_struct_variant(\
+                                 __serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                     &mut __state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str(
+                            "::serde::ser::SerializeStructVariant::end(__state)\n}\n",
+                        );
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(\
+                 &self, __serializer: __S,\
+             ) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Emits `let __f{i} = ...next_element()...;` lines pulling `n` positional
+/// values out of a sequence named `__seq`.
+fn gen_seq_extractors(n: usize, what: &str) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(&format!(
+            "let __f{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     <__A::Error as ::serde::de::Error>::custom(\
+                         \"missing element {i} of {what}\")),\n\
+             }};\n"
+        ));
+    }
+    out
+}
+
+/// Emits a visitor struct `__{tag}Visitor` whose `visit_seq` builds
+/// `constructor` from `n` positional elements.
+fn gen_seq_visitor(tag: &str, value_ty: &str, n: usize, constructor: &str, what: &str) -> String {
+    let seq_binding = if n == 0 { "_seq" } else { "mut __seq" };
+    format!(
+        "struct __{tag}Visitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __{tag}Visitor {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\
+                 -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"{what}\")\n\
+             }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+                 self, {seq_binding}: __A,\
+             ) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {extract}\
+                 ::core::result::Result::Ok({constructor})\n\
+             }}\n\
+         }}\n",
+        extract = gen_seq_extractors(n, what),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let constructor = format!(
+                "{name} {{ {} }}",
+                fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let visitor = gen_seq_visitor(
+                "Struct",
+                name,
+                fields.len(),
+                &constructor,
+                &format!("struct {name}"),
+            );
+            let field_names = fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{visitor}\
+                 ::serde::Deserializer::deserialize_struct(\
+                     __deserializer, \"{name}\", &[{field_names}], __StructVisitor)\n"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                             ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                             ::core::result::Result::Ok({name}::{vname})\n\
+                         }}\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let constructor = format!(
+                            "{name}::{vname}({})",
+                            (0..*arity)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let visitor = gen_seq_visitor(
+                            "Variant",
+                            name,
+                            *arity,
+                            &constructor,
+                            &format!("variant {name}::{vname}"),
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                                 {visitor}\
+                                 ::serde::de::VariantAccess::tuple_variant(\
+                                     __variant, {arity}usize, __VariantVisitor)\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let constructor = format!(
+                            "{name}::{vname} {{ {} }}",
+                            fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| format!("{f}: __f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let visitor = gen_seq_visitor(
+                            "Variant",
+                            name,
+                            fields.len(),
+                            &constructor,
+                            &format!("variant {name}::{vname}"),
+                        );
+                        let field_names = fields
+                            .iter()
+                            .map(|f| format!("\"{f}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                                 {visitor}\
+                                 ::serde::de::VariantAccess::struct_variant(\
+                                     __variant, &[{field_names}], __VariantVisitor)\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            let variant_names = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "struct __EnumVisitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __EnumVisitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\
+                         -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(\
+                         self, __data: __A,\
+                     ) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __variant): (u32, _) =\
+                             ::serde::de::EnumAccess::variant(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\
+                             _ => ::core::result::Result::Err(\
+                                 <__A::Error as ::serde::de::Error>::custom(\
+                                     \"invalid variant index for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_enum(\
+                     __deserializer, \"{name}\", &[{variant_names}], __EnumVisitor)\n"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(\
+                 __deserializer: __D,\
+             ) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}

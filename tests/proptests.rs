@@ -107,7 +107,7 @@ proptest! {
             .run_with_attacker("__start", move |s, mem, regs| {
                 if s == step && !fired {
                     fired = true;
-                    let rsp = regs[4] as usize;
+                    let rsp = regs[mcfi_machine::Reg::Rsp.index()] as usize;
                     if rsp + 8 <= mem.len() {
                         mem[rsp..rsp + 8].copy_from_slice(&word.to_le_bytes());
                     }

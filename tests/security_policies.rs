@@ -118,7 +118,7 @@ fn return_into_function_entry_is_blocked() {
     let r = system
         .process()
         .run_with_attacker("__start", move |_step, mem, regs| {
-            let rsp = regs[4];
+            let rsp = regs[mcfi_machine::Reg::Rsp.index()];
             if rsp >= stack_lo && (rsp as usize) + 8 <= mem.len() {
                 let a = rsp as usize;
                 mem[a..a + 8].copy_from_slice(&target.to_le_bytes());
