@@ -11,14 +11,20 @@ use mcfi_bench::{average, bar, fig6_overheads, UPDATE_HZ};
 fn main() {
     println!("Fig. 6 — MCFI overhead with {UPDATE_HZ} Hz concurrent update transactions\n");
     let rows = fig6_overheads(Arch::X86_64);
-    for (o, updates) in &rows {
+    for (o, r) in &rows {
         println!(
-            "{:>12} {:>6.2}% ({updates:>3} updates) {}",
+            "{:>12} {:>6.2}% ({:>3} updates, {:>5} check retries, {:>2} escalations) {}",
             o.bench,
             o.percent,
+            r.updates,
+            r.check_retries,
+            r.tx_escalations,
             bar(o.percent, 4.0)
         );
     }
     let avg = average(rows.iter().map(|(o, _)| o.percent));
     println!("{:>12} {avg:>6.2}%  (paper: ~6-7%)", "average");
+    let retries: u64 = rows.iter().map(|(_, r)| r.check_retries).sum();
+    let escalations: u64 = rows.iter().map(|(_, r)| r.tx_escalations).sum();
+    println!("\nTxCheck contention: {retries} retries, {escalations} lock escalations total");
 }

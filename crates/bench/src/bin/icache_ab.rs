@@ -97,8 +97,17 @@ fn measure(w: &Workload, reps: u32) -> ((RunResult, f64), (RunResult, f64)) {
 fn main() {
     println!("predecode-cache A/B (cached vs per-step decode)\n");
     println!(
-        "{:<14} {:>12} {:>14} {:>14} {:>8}  {:>10} {:>8} {:>6}",
-        "workload", "steps", "cached st/s", "uncached st/s", "speedup", "hits", "misses", "inval"
+        "{:<14} {:>12} {:>14} {:>14} {:>8}  {:>10} {:>8} {:>6} {:>8} {:>6}",
+        "workload",
+        "steps",
+        "cached st/s",
+        "uncached st/s",
+        "speedup",
+        "hits",
+        "misses",
+        "inval",
+        "retries",
+        "escal"
     );
     let mut fib_speedup = None;
     for w in WORKLOADS {
@@ -113,7 +122,7 @@ fn main() {
             fib_speedup = Some(speedup);
         }
         println!(
-            "{:<14} {:>12} {:>14.3e} {:>14.3e} {:>7.2}x  {:>10} {:>8} {:>6}",
+            "{:<14} {:>12} {:>14.3e} {:>14.3e} {:>7.2}x  {:>10} {:>8} {:>6} {:>8} {:>6}",
             w.name,
             rc.steps,
             cached_sps,
@@ -122,6 +131,8 @@ fn main() {
             rc.icache_hits,
             rc.icache_misses,
             rc.icache_invalidations,
+            rc.check_retries + rc.tx_retries,
+            rc.tx_escalations,
         );
     }
     let fib = fib_speedup.expect("fib-recursion ran");

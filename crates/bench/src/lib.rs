@@ -89,8 +89,12 @@ pub fn run_with_updater(bench: &str, arch: Arch) -> (RunResult, u64) {
     (result, updates)
 }
 
-/// Fig. 6: overhead with the 50 Hz updater running.
-pub fn fig6_overheads(arch: Arch) -> Vec<(Overhead, u64)> {
+/// Fig. 6: overhead with the 50 Hz updater running. The returned
+/// [`RunResult`] carries the TxCheck contention counters
+/// (`check_retries`, `tx_retries`, `tx_escalations`) alongside
+/// `updates`, so callers can report how much of the overhead is
+/// retry cost.
+pub fn fig6_overheads(arch: Arch) -> Vec<(Overhead, RunResult)> {
     mcfi_workloads::BENCHMARKS
         .iter()
         .map(|b| {
@@ -100,7 +104,7 @@ pub fn fig6_overheads(arch: Arch) -> Vec<(Overhead, u64)> {
                 &BuildOptions { policy: Policy::NoCfi, arch, verify: false },
             )
             .unwrap_or_else(|e| panic!("{b}: {e}"));
-            let (hardened, updates) = run_with_updater(b, arch);
+            let (hardened, _updates) = run_with_updater(b, arch);
             assert!(
                 matches!(hardened.outcome, Outcome::Exit { .. }),
                 "{b}: {:?}",
@@ -108,7 +112,7 @@ pub fn fig6_overheads(arch: Arch) -> Vec<(Overhead, u64)> {
             );
             let percent =
                 100.0 * (hardened.cycles as f64 / plain.cycles as f64 - 1.0);
-            (Overhead { bench: (*b).to_string(), percent }, updates)
+            (Overhead { bench: (*b).to_string(), percent }, hardened)
         })
         .collect()
 }

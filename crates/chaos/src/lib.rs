@@ -1,0 +1,382 @@
+//! `mcfi-chaos`: deterministic fault injection for the MCFI runtime.
+//!
+//! The paper's central runtime claim is that the Bary/Tary tables stay
+//! linearizable while a *trusted, well-behaved* dynamic linker updates
+//! them (§5). A deployable CFI runtime additionally has to survive an
+//! updater that misbehaves: crashes between the two table phases, stalls
+//! while holding the update lock, tears the Tary stream partway through,
+//! or exhausts the 14-bit version space. This crate provides the plan
+//! language for injecting exactly those faults at named, instrumented
+//! points inside `mcfi-tables` and `mcfi-runtime`:
+//!
+//! * [`FaultPoint`] names each instrumented site.
+//! * [`FaultPlan`] is a **seeded, serializable, replayable** list of
+//!   planned faults ("the 2nd time the updater reaches the
+//!   between-phases point, crash"). Plans round-trip through a compact
+//!   wire string so a failing CI seed can be replayed locally verbatim.
+//! * [`ChaosInjector`] is the armed form: it counts how often each site
+//!   is reached and fires the planned fault on the matching occurrence,
+//!   recording every shot for test assertions.
+//!
+//! When no injector is armed the instrumented code paths check a single
+//! relaxed atomic bool and fall through — the disarmed cost is one
+//! branch on the *update* paths only; check-transaction fast paths are
+//! never instrumented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A named fault-injection site in the tables/runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultPoint {
+    /// The updater "crashes" after the Tary phase and its barrier,
+    /// before the Bary phase: the transaction is abandoned mid-window
+    /// (param unused).
+    UpdaterCrash,
+    /// The updater stalls between the two phases while holding the
+    /// update lock for `param` microseconds.
+    UpdaterStall,
+    /// The Tary rewrite stops ("tears") after `param` entries, then the
+    /// updater crashes, leaving a partially written Tary table.
+    TornTary,
+    /// The global version counter is warped to `VERSION_LIMIT - param`
+    /// before the next update, forcing a 14-bit wraparound.
+    VersionWarp,
+    /// The module verifier rejects the library during `dlopen`, after
+    /// module preparation has already mutated process state.
+    VerifierReject,
+    /// CFG regeneration fails during `dlopen`, after the module has
+    /// been mapped, relocated, and made executable.
+    CfgRegenFail,
+}
+
+/// Every fault point, in wire-format order.
+pub const ALL_POINTS: [FaultPoint; 6] = [
+    FaultPoint::UpdaterCrash,
+    FaultPoint::UpdaterStall,
+    FaultPoint::TornTary,
+    FaultPoint::VersionWarp,
+    FaultPoint::VerifierReject,
+    FaultPoint::CfgRegenFail,
+];
+
+impl FaultPoint {
+    fn index(self) -> usize {
+        ALL_POINTS.iter().position(|p| *p == self).expect("point is listed")
+    }
+
+    /// The stable wire-format name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::UpdaterCrash => "updater-crash",
+            FaultPoint::UpdaterStall => "updater-stall",
+            FaultPoint::TornTary => "torn-tary",
+            FaultPoint::VersionWarp => "version-warp",
+            FaultPoint::VerifierReject => "verifier-reject",
+            FaultPoint::CfgRegenFail => "cfg-regen-fail",
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultPoint {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, PlanParseError> {
+        ALL_POINTS
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| PlanParseError(format!("unknown fault point `{s}`")))
+    }
+}
+
+/// One planned fault: fire at the `nth` time (1-based) execution reaches
+/// `point`, with a point-specific `param`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlannedFault {
+    /// Where to inject.
+    pub point: FaultPoint,
+    /// Which occurrence of the site triggers the fault (1-based).
+    pub nth: u64,
+    /// Point-specific knob (stall microseconds, torn-entry count,
+    /// version-warp distance; unused for the rest).
+    pub param: u64,
+}
+
+/// A deterministic, replayable fault-injection plan.
+///
+/// The `seed` is carried along so a randomly generated plan prints its
+/// provenance; [`FaultPlan::wire`] / [`FaultPlan::parse`] round-trip the
+/// whole plan as a single line suitable for CI logs and env vars.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The planned faults, in no particular order.
+    pub faults: Vec<PlannedFault>,
+}
+
+/// A malformed wire string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanParseError(String);
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// An empty plan (no faults fire; useful as a base for [`Self::with`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a planned fault, builder-style.
+    #[must_use]
+    pub fn with(mut self, point: FaultPoint, nth: u64, param: u64) -> Self {
+        self.faults.push(PlannedFault { point, nth, param });
+        self
+    }
+
+    /// Generates a random plan of `count` faults from `seed`.
+    ///
+    /// Deterministic: the same seed always yields the same plan, on any
+    /// host. Parameters are drawn from ranges that keep every fault
+    /// survivable (stalls of at most 500 µs, warps of at most 8
+    /// versions, tears within small tables).
+    pub fn random(seed: u64, count: usize) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let faults = (0..count)
+            .map(|_| {
+                let point = ALL_POINTS[(rng.next() % ALL_POINTS.len() as u64) as usize];
+                let nth = 1 + rng.next() % 3;
+                let param = match point {
+                    FaultPoint::UpdaterStall => rng.next() % 500,
+                    FaultPoint::TornTary => rng.next() % 8,
+                    FaultPoint::VersionWarp => 1 + rng.next() % 8,
+                    _ => 0,
+                };
+                PlannedFault { point, nth, param }
+            })
+            .collect();
+        FaultPlan { seed, faults }
+    }
+
+    /// Serializes the plan to its one-line wire format, e.g.
+    /// `seed=42;updater-crash@1(0);torn-tary@2(5)`.
+    pub fn wire(&self) -> String {
+        let mut s = format!("seed={}", self.seed);
+        for f in &self.faults {
+            s.push_str(&format!(";{}@{}({})", f.point, f.nth, f.param));
+        }
+        s
+    }
+
+    /// Parses the wire format produced by [`Self::wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanParseError`] on any malformed field.
+    pub fn parse(wire: &str) -> Result<Self, PlanParseError> {
+        let mut parts = wire.split(';');
+        let head = parts.next().unwrap_or_default();
+        let seed = head
+            .strip_prefix("seed=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| PlanParseError(format!("expected `seed=N`, got `{head}`")))?;
+        let mut faults = Vec::new();
+        for part in parts {
+            let (name, rest) = part
+                .split_once('@')
+                .ok_or_else(|| PlanParseError(format!("expected `point@nth(param)`, got `{part}`")))?;
+            let (nth, param) = rest
+                .strip_suffix(')')
+                .and_then(|r| r.split_once('('))
+                .ok_or_else(|| PlanParseError(format!("expected `nth(param)`, got `{rest}`")))?;
+            faults.push(PlannedFault {
+                point: name.parse()?,
+                nth: nth
+                    .parse()
+                    .map_err(|_| PlanParseError(format!("bad occurrence `{nth}`")))?,
+                param: param
+                    .parse()
+                    .map_err(|_| PlanParseError(format!("bad param `{param}`")))?,
+            });
+        }
+        Ok(FaultPlan { seed, faults })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.wire())
+    }
+}
+
+/// A fault that actually fired during execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FiredFault {
+    /// The site that fired.
+    pub point: FaultPoint,
+    /// Which occurrence of the site it was.
+    pub occurrence: u64,
+    /// The planned parameter.
+    pub param: u64,
+}
+
+/// The armed form of a [`FaultPlan`]: counts site occurrences and fires
+/// planned faults on the matching hit.
+///
+/// Shared (`Arc`) between the test harness and the instrumented
+/// subsystems; all methods take `&self`.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    plan: FaultPlan,
+    hits: [AtomicU64; ALL_POINTS.len()],
+    fired: Mutex<Vec<FiredFault>>,
+}
+
+impl ChaosInjector {
+    /// Arms a plan.
+    pub fn arm(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(ChaosInjector {
+            plan,
+            hits: Default::default(),
+            fired: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Records that execution reached `point`; returns `Some(param)` when
+    /// a planned fault fires on this occurrence.
+    ///
+    /// Each site's occurrence counter is independent, so plans compose:
+    /// `torn-tary@2` fires on the second update regardless of how many
+    /// times other sites were reached.
+    pub fn fire(&self, point: FaultPoint) -> Option<u64> {
+        let occurrence = self.hits[point.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = self
+            .plan
+            .faults
+            .iter()
+            .find(|f| f.point == point && f.nth == occurrence)?;
+        self.fired
+            .lock()
+            .expect("chaos log lock is never poisoned")
+            .push(FiredFault { point, occurrence, param: hit.param });
+        Some(hit.param)
+    }
+
+    /// How many times `point` has been reached (fired or not).
+    pub fn hit_count(&self, point: FaultPoint) -> u64 {
+        self.hits[point.index()].load(Ordering::Relaxed)
+    }
+
+    /// Every fault that fired so far, in firing order.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        self.fired.lock().expect("chaos log lock is never poisoned").clone()
+    }
+
+    /// The plan this injector was armed with.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+/// The xorshift64 PRNG used for plan generation — tiny, seedable, and
+/// identical on every host.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed | 1) // xorshift state must be non-zero
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips() {
+        let plan = FaultPlan::new()
+            .with(FaultPoint::UpdaterCrash, 1, 0)
+            .with(FaultPoint::TornTary, 2, 5)
+            .with(FaultPoint::UpdaterStall, 3, 250);
+        let parsed = FaultPlan::parse(&plan.wire()).unwrap();
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_round_trip() {
+        for seed in [1u64, 42, 0xC0FFEE, u64::MAX] {
+            let a = FaultPlan::random(seed, 4);
+            let b = FaultPlan::random(seed, 4);
+            assert_eq!(a, b, "seed {seed} must be deterministic");
+            assert_eq!(FaultPlan::parse(&a.wire()).unwrap(), a);
+        }
+        assert_ne!(FaultPlan::random(1, 4), FaultPlan::random(2, 4));
+    }
+
+    #[test]
+    fn malformed_wires_are_rejected() {
+        for bad in ["", "seed=x", "seed=1;nope@1(0)", "seed=1;torn-tary@x(0)",
+                    "seed=1;torn-tary@1", "seed=1;torn-tary@1(y)"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn injector_fires_on_the_planned_occurrence_only() {
+        let inj = ChaosInjector::arm(FaultPlan::new().with(FaultPoint::UpdaterCrash, 2, 7));
+        assert_eq!(inj.fire(FaultPoint::UpdaterCrash), None);
+        assert_eq!(inj.fire(FaultPoint::UpdaterCrash), Some(7));
+        assert_eq!(inj.fire(FaultPoint::UpdaterCrash), None);
+        assert_eq!(inj.hit_count(FaultPoint::UpdaterCrash), 3);
+        let fired = inj.fired();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0], FiredFault { point: FaultPoint::UpdaterCrash, occurrence: 2, param: 7 });
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let inj = ChaosInjector::arm(
+            FaultPlan::new()
+                .with(FaultPoint::TornTary, 1, 3)
+                .with(FaultPoint::VerifierReject, 1, 0),
+        );
+        assert_eq!(inj.fire(FaultPoint::UpdaterCrash), None);
+        assert_eq!(inj.fire(FaultPoint::TornTary), Some(3));
+        assert_eq!(inj.fire(FaultPoint::VerifierReject), Some(0));
+        assert_eq!(inj.fired().len(), 2);
+    }
+
+    #[test]
+    fn point_names_round_trip() {
+        for p in ALL_POINTS {
+            assert_eq!(p.name().parse::<FaultPoint>().unwrap(), p);
+        }
+        assert!("bogus".parse::<FaultPoint>().is_err());
+    }
+}

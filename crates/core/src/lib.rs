@@ -49,9 +49,13 @@ use std::fmt;
 
 pub use mcfi_baselines::PolicyKind;
 pub use mcfi_cfggen::{CfgStats, ControlFlowPolicy, Placed};
+pub use mcfi_chaos::{ChaosInjector, FaultPlan, FaultPoint};
 pub use mcfi_codegen::{CodegenOptions, Policy};
 pub use mcfi_module::Module;
-pub use mcfi_runtime::{Outcome, Process, ProcessOptions, RunResult};
+pub use mcfi_runtime::{
+    FaultKind, Outcome, Process, ProcessOptions, RunResult, ViolationLog, ViolationPolicy,
+    ViolationRecord,
+};
 
 /// Target architecture flavor. The paper evaluates x86-32 and x86-64;
 /// the observable difference in this reproduction is LLVM-style tail-call
@@ -148,7 +152,21 @@ impl System {
     ///
     /// Fails if the standard modules or user modules do not load.
     pub fn boot_modules(user: Vec<Module>, opts: &BuildOptions) -> Result<System, Error> {
-        let mut process = Process::new(ProcessOptions::default());
+        System::boot_modules_with(user, opts, ProcessOptions::default())
+    }
+
+    /// Like [`System::boot_modules`], with explicit process options
+    /// (violation policy, step budget, predecode, layout).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the standard modules or user modules do not load.
+    pub fn boot_modules_with(
+        user: Vec<Module>,
+        opts: &BuildOptions,
+        proc_opts: ProcessOptions,
+    ) -> Result<System, Error> {
+        let mut process = Process::new(proc_opts);
         let [stubs, libms, start] = standard_modules(opts)?;
         // The startup module loads *after* the user modules so that its
         // direct call to `main` resolves without a PLT detour.
@@ -167,6 +185,20 @@ impl System {
     pub fn boot_source(src: &str, opts: &BuildOptions) -> Result<System, Error> {
         let program = compile_module("program", src, opts)?;
         System::boot_modules(vec![program], opts)
+    }
+
+    /// Compiles `src` and boots a system with explicit process options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and loading failures.
+    pub fn boot_source_with(
+        src: &str,
+        opts: &BuildOptions,
+        proc_opts: ProcessOptions,
+    ) -> Result<System, Error> {
+        let program = compile_module("program", src, opts)?;
+        System::boot_modules_with(vec![program], opts, proc_opts)
     }
 
     /// Registers a library for `dlopen`.

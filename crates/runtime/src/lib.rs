@@ -25,7 +25,11 @@ pub mod synth;
 pub mod vm;
 
 pub use icache::PredecodeCache;
-pub use process::{Layout, LoadError, Outcome, Process, ProcessOptions, RunResult};
+pub use mem::SandboxSnapshot;
+pub use process::{
+    FaultKind, Layout, LoadError, Outcome, Process, ProcessOptions, RunResult, ViolationLog,
+    ViolationPolicy, ViolationRecord,
+};
 pub use vm::{Event, Vm, VmError, VmStats};
 
 #[cfg(test)]

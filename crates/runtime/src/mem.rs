@@ -292,6 +292,25 @@ impl Sandbox {
         Ok(String::from_utf8_lossy(&out).into_owned())
     }
 
+    /// Captures the full memory image and region table, for transactional
+    /// operations (a dynamic load that may have to be undone).
+    pub fn snapshot(&self) -> SandboxSnapshot {
+        SandboxSnapshot { bytes: self.bytes.clone(), regions: self.regions.clone() }
+    }
+
+    /// Restores a [`Sandbox::snapshot`], discarding every mapping and
+    /// byte written since it was taken.
+    ///
+    /// The generation counter is *not* restored: it keeps counting
+    /// forward, so predecode caches built against the discarded state can
+    /// never validate against the restored one.
+    pub fn restore(&mut self, snap: SandboxSnapshot) {
+        self.bytes = snap.bytes;
+        self.regions = snap.regions;
+        self.generation += 1;
+        self.data_hint.set(usize::MAX);
+    }
+
     /// Raw view of the backing store (used by the attacker thread in the
     /// threat model: "the attacker can corrupt writable memory between
     /// any two instructions", §4).
@@ -308,9 +327,36 @@ impl Sandbox {
     }
 }
 
+/// An owned copy of a sandbox's memory image and region table (see
+/// [`Sandbox::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct SandboxSnapshot {
+    bytes: Vec<u8>,
+    regions: Vec<Region>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_restore_undoes_mappings_and_writes() {
+        let mut m = Sandbox::new(0x1000);
+        m.map(0, 0x100, Perm::Rw).unwrap();
+        m.write64(0x10, 7).unwrap();
+        let snap = m.snapshot();
+        let g_snap = m.generation();
+        m.write64(0x10, 99).unwrap();
+        m.map(0x200, 0x100, Perm::Rx).unwrap();
+        m.load_image(0x200, &[1, 2, 3]).unwrap();
+        m.restore(snap);
+        assert_eq!(m.read64(0x10).unwrap(), 7, "bytes roll back");
+        assert!(m.region_of(0x200).is_none(), "mappings roll back");
+        assert!(
+            m.generation() > g_snap,
+            "generation must keep counting so stale caches rebuild"
+        );
+    }
 
     #[test]
     fn mapping_and_rw_round_trip() {

@@ -14,13 +14,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mcfi_cfggen::{generate, ControlFlowPolicy, Placed};
+use mcfi_chaos::{ChaosInjector, FaultPlan, FaultPoint};
+use mcfi_machine::DecodeError;
 use mcfi_minic::types::TypeEnv;
 use mcfi_linker::build_plt_stub;
 use mcfi_module::{Module, RelocKind};
-use mcfi_tables::{IdTables, TablesConfig};
+use mcfi_tables::{CheckError, IdTables, RetryConfig, TablesConfig, TxCounters, ViolationKind};
 
 use crate::icache::PredecodeCache;
-use crate::mem::{Perm, Sandbox};
+use crate::mem::{MemFault, Perm, Sandbox, SandboxSnapshot};
 use crate::synth::Sys;
 use crate::vm::{Event, Vm, VmError};
 
@@ -72,6 +74,8 @@ pub struct ProcessOptions {
     /// per-step decoding. [`Process::run_with_attacker`] always runs
     /// uncached, since the attacker rewrites raw memory between steps.
     pub predecode: bool,
+    /// What to do when a check transaction halts the program.
+    pub violation_policy: ViolationPolicy,
 }
 
 impl Default for ProcessOptions {
@@ -81,7 +85,81 @@ impl Default for ProcessOptions {
             max_steps: 500_000_000,
             bary_capacity: 1 << 16,
             predecode: true,
+            violation_policy: ViolationPolicy::Enforce,
         }
+    }
+}
+
+/// What the runtime does when an indirect branch fails its check
+/// transaction — how production CFI deployments stage a rollout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ViolationPolicy {
+    /// Halt the program at the `hlt` (the paper's behavior; the default).
+    #[default]
+    Enforce,
+    /// Record the violation in a bounded log and let the transfer
+    /// proceed. Detection without enforcement: the run reports every
+    /// would-be violation, but the program keeps its availability.
+    Audit,
+}
+
+/// One audited CFI violation (see [`ViolationPolicy::Audit`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ViolationRecord {
+    /// Address of the `hlt` that would have fired.
+    pub pc: u64,
+    /// Bary slot of the offending indirect branch.
+    pub bary_slot: usize,
+    /// The address the branch transferred to anyway.
+    pub target: u64,
+    /// The diagnosed policy failure, when the tables could still explain
+    /// it at audit time (`None` if a concurrent update already settled
+    /// the skew that produced the halt).
+    pub kind: Option<ViolationKind>,
+}
+
+/// A bounded log of audited violations.
+///
+/// Rate-limited by capacity rather than time: a hijacked indirect branch
+/// in a hot loop would otherwise grow the log without bound. The first
+/// [`ViolationLog::CAPACITY`] records are kept verbatim; everything after
+/// is counted in [`ViolationLog::dropped`].
+#[derive(Clone, Debug, Default)]
+pub struct ViolationLog {
+    records: Vec<ViolationRecord>,
+    dropped: u64,
+}
+
+impl ViolationLog {
+    /// Maximum records retained verbatim.
+    pub const CAPACITY: usize = 64;
+
+    fn push(&mut self, rec: ViolationRecord) {
+        if self.records.len() < Self::CAPACITY {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// The retained records, in occurrence order.
+    pub fn records(&self) -> &[ViolationRecord] {
+        &self.records
+    }
+
+    /// Violations observed after the log filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total violations observed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.records.len() as u64 + self.dropped
     }
 }
 
@@ -99,9 +177,64 @@ pub enum Outcome {
         pc: u64,
     },
     /// A hardware-level fault (memory, decode, division).
-    Fault(String),
+    Fault(FaultKind),
     /// The step budget ran out.
     StepLimit,
+}
+
+/// A structured fault identity (replacing the former free-form string),
+/// so fault-injection tests can assert on *which* fault occurred rather
+/// than on message substrings. The `Display` output of each variant is
+/// byte-identical to the string the corresponding path used to produce.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FaultKind {
+    /// A memory fault raised by the VM (fetch/load/store).
+    Mem(MemFault),
+    /// An undecodable instruction.
+    Decode(DecodeError),
+    /// Integer division by zero.
+    DivideByZero {
+        /// Faulting pc.
+        pc: u64,
+    },
+    /// Jump-table index out of bounds.
+    TableIndex {
+        /// Faulting pc.
+        pc: u64,
+    },
+    /// A memory fault raised while servicing a syscall (reading guest
+    /// buffers or strings).
+    SysMem(MemFault),
+    /// A syscall number the runtime does not interpose.
+    UnknownSyscall(u64),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Mem(m) => write!(f, "memory fault: {m}"),
+            FaultKind::Decode(d) => write!(f, "decode fault: {d}"),
+            FaultKind::DivideByZero { pc } => write!(f, "division by zero at {pc:#x}"),
+            FaultKind::TableIndex { pc } => {
+                write!(f, "jump-table index out of range at {pc:#x}")
+            }
+            FaultKind::SysMem(m) => m.fmt(f),
+            FaultKind::UnknownSyscall(num) => write!(f, "unknown syscall {num}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultKind {}
+
+/// Maps a stepping error to the outcome the run loop reports.
+fn vm_outcome(e: VmError) -> Outcome {
+    match e {
+        VmError::StepLimit => Outcome::StepLimit,
+        VmError::Mem(m) => Outcome::Fault(FaultKind::Mem(m)),
+        VmError::Decode(d) => Outcome::Fault(FaultKind::Decode(d)),
+        VmError::DivideByZero { pc } => Outcome::Fault(FaultKind::DivideByZero { pc }),
+        VmError::TableIndex { pc } => Outcome::Fault(FaultKind::TableIndex { pc }),
+    }
 }
 
 /// The result of running a program.
@@ -129,10 +262,25 @@ pub struct RunResult {
     pub execve_reached: bool,
     /// Update transactions executed during the run (dlopens).
     pub updates: u64,
+    /// Guest-level check retries observed by the VM (TaryLoads that saw
+    /// version skew; see [`crate::vm::VmStats::check_retries`]).
+    pub check_retries: u64,
+    /// Host-side table check retries during the run (the shared tables'
+    /// counter, as a delta — external updater threads contribute too).
+    pub tx_retries: u64,
+    /// Bounded-check escalations to the update lock during the run.
+    pub tx_escalations: u64,
+    /// Abandoned update transactions repaired during the run.
+    pub tx_repairs: u64,
+    /// Violations recorded (not halted) under the `Audit` policy.
+    pub audited_violations: u64,
+    /// Dynamic loads rolled back during the run (failed `dlopen`s that
+    /// restored the pre-load state).
+    pub load_rollbacks: u64,
 }
 
 /// A loading/linking failure.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum LoadError {
     /// The regions are exhausted.
     OutOfSpace(&'static str),
@@ -144,6 +292,12 @@ pub enum LoadError {
     BaryOverflow,
     /// A memory operation failed during loading.
     Mem(String),
+    /// The module verifier rejected the prepared image (in this
+    /// reproduction, raised by fault injection mid-`dlopen`).
+    Rejected(String),
+    /// Control-flow-graph regeneration over the loaded modules failed
+    /// (likewise raised by fault injection).
+    CfgRegen(String),
 }
 
 impl fmt::Display for LoadError {
@@ -154,6 +308,8 @@ impl fmt::Display for LoadError {
             LoadError::TypeClash(s) => write!(f, "type clash: {s}"),
             LoadError::BaryOverflow => write!(f, "bary capacity exceeded"),
             LoadError::Mem(s) => write!(f, "loader memory fault: {s}"),
+            LoadError::Rejected(s) => write!(f, "module verifier rejected the image: {s}"),
+            LoadError::CfgRegen(s) => write!(f, "cfg regeneration failed: {s}"),
         }
     }
 }
@@ -194,6 +350,28 @@ pub struct Process {
     /// Predecoded-instruction cache for the cached run loops. Kept on
     /// the process so its side-tables survive across consecutive runs.
     icache: PredecodeCache,
+    /// Armed fault injector, shared with the tables (see [`mcfi_chaos`]).
+    chaos: Option<Arc<ChaosInjector>>,
+    /// Dynamic loads rolled back after a mid-`dlopen` failure.
+    load_rollbacks: u64,
+    /// Violations recorded under [`ViolationPolicy::Audit`].
+    violations: ViolationLog,
+}
+
+/// Snapshot of the loader-visible process state, taken before a dynamic
+/// load so a mid-load failure can be rolled back (§6's three steps become
+/// one transaction). The ID tables need no snapshot: every load path
+/// mutates them only in the final, infallible update transaction.
+struct LoadTx {
+    mem: SandboxSnapshot,
+    modules_len: usize,
+    got: BTreeMap<String, u64>,
+    plt: BTreeMap<String, u64>,
+    next_code: u64,
+    next_data: u64,
+    got_next: u64,
+    total_slots: usize,
+    env: TypeEnv,
 }
 
 impl Process {
@@ -230,7 +408,41 @@ impl Process {
             updates: 0,
             cycles_shared: Arc::new(AtomicU64::new(0)),
             icache: PredecodeCache::new(),
+            chaos: None,
+            load_rollbacks: 0,
+            violations: ViolationLog::default(),
         }
+    }
+
+    /// Arms deterministic fault injection over this process and its ID
+    /// tables. The returned injector reports which faults actually fired
+    /// (see [`ChaosInjector::fired`]).
+    pub fn arm_chaos(&mut self, plan: FaultPlan) -> Arc<ChaosInjector> {
+        let injector = ChaosInjector::arm(plan);
+        self.tables.arm_chaos(Arc::clone(&injector));
+        self.chaos = Some(Arc::clone(&injector));
+        injector
+    }
+
+    /// Disarms fault injection on the process and its tables.
+    pub fn disarm_chaos(&mut self) {
+        self.tables.disarm_chaos();
+        self.chaos = None;
+    }
+
+    fn chaos_fire(&self, point: FaultPoint) -> Option<u64> {
+        self.chaos.as_ref().and_then(|c| c.fire(point))
+    }
+
+    /// The violations recorded by the most recent run under
+    /// [`ViolationPolicy::Audit`] (empty under `Enforce`).
+    pub fn violation_log(&self) -> &ViolationLog {
+        &self.violations
+    }
+
+    /// Dynamic loads rolled back so far (process lifetime total).
+    pub fn load_rollbacks(&self) -> u64 {
+        self.load_rollbacks
     }
 
     /// The shared ID tables (hand these to an updater thread to exercise
@@ -336,24 +548,81 @@ impl Process {
 
     /// Loads a module into the process and installs the new CFG.
     ///
+    /// The load is transactional: if any step fails — region exhaustion,
+    /// an unresolved relocation, a type clash, or an injected verifier /
+    /// CFG-regeneration fault — the sandbox mappings and loader state are
+    /// restored to their pre-load values and the process keeps executing
+    /// under the CFG it had before the call.
+    ///
     /// # Errors
     ///
     /// Fails on exhausted regions, unresolved absolute relocations, or
     /// type clashes.
     pub fn load(&mut self, module: Module) -> Result<(), LoadError> {
-        self.load_no_update(module)?;
-        self.install_policy();
+        let tx = self.begin_load();
+        let result = self.load_no_update(module).and_then(|()| self.finish_load());
+        if let Err(e) = result {
+            self.rollback_load(tx);
+            return Err(e);
+        }
         Ok(())
     }
 
-    /// Loads several modules, then installs the CFG once.
+    /// Loads several modules, then installs the CFG once. Transactional
+    /// as a unit: a failure anywhere rolls back every module in the batch.
     ///
     /// # Errors
     ///
     /// See [`Process::load`].
     pub fn load_all(&mut self, modules: Vec<Module>) -> Result<(), LoadError> {
-        for m in modules {
-            self.load_no_update(m)?;
+        let tx = self.begin_load();
+        let result = modules
+            .into_iter()
+            .try_for_each(|m| self.load_no_update(m))
+            .and_then(|()| self.finish_load());
+        if let Err(e) = result {
+            self.rollback_load(tx);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn begin_load(&self) -> LoadTx {
+        LoadTx {
+            mem: self.mem.snapshot(),
+            modules_len: self.modules.len(),
+            got: self.got.clone(),
+            plt: self.plt.clone(),
+            next_code: self.next_code,
+            next_data: self.next_data,
+            got_next: self.got_next,
+            total_slots: self.total_slots,
+            env: self.env.clone(),
+        }
+    }
+
+    fn rollback_load(&mut self, tx: LoadTx) {
+        self.mem.restore(tx.mem);
+        self.modules.truncate(tx.modules_len);
+        self.got = tx.got;
+        self.plt = tx.plt;
+        self.next_code = tx.next_code;
+        self.next_data = tx.next_data;
+        self.got_next = tx.got_next;
+        self.total_slots = tx.total_slots;
+        self.env = tx.env;
+        self.load_rollbacks += 1;
+    }
+
+    /// The fallible tail of a load: the verifier pass and CFG
+    /// regeneration (both of which fault injection can fail), then the
+    /// infallible table-update transaction.
+    fn finish_load(&mut self) -> Result<(), LoadError> {
+        if let Some(p) = self.chaos_fire(FaultPoint::VerifierReject) {
+            return Err(LoadError::Rejected(format!("injected fault (parameter {p})")));
+        }
+        if let Some(p) = self.chaos_fire(FaultPoint::CfgRegenFail) {
+            return Err(LoadError::CfgRegen(format!("injected fault (parameter {p})")));
         }
         self.install_policy();
         Ok(())
@@ -632,11 +901,20 @@ impl Process {
         vm.regs[mcfi_machine::Reg::Rsp.index()] = self.opts.layout.stack_top;
         self.stdout.clear();
         self.execve_reached = false;
+        self.violations.clear();
         Ok(vm)
     }
 
-    fn finish_run(&self, outcome: Outcome, vm: &Vm, start_updates: u64) -> RunResult {
+    fn finish_run(
+        &self,
+        outcome: Outcome,
+        vm: &Vm,
+        start_updates: u64,
+        start_tx: TxCounters,
+        start_rollbacks: u64,
+    ) -> RunResult {
         self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
+        let tx = self.tables.tx_counters();
         RunResult {
             outcome,
             stdout: String::from_utf8_lossy(&self.stdout).into_owned(),
@@ -649,6 +927,12 @@ impl Process {
             icache_invalidations: vm.stats.icache_invalidations,
             execve_reached: self.execve_reached,
             updates: self.updates - start_updates,
+            check_retries: vm.stats.check_retries,
+            tx_retries: tx.retries.saturating_sub(start_tx.retries),
+            tx_escalations: tx.escalations.saturating_sub(start_tx.escalations),
+            tx_repairs: tx.repairs.saturating_sub(start_tx.repairs),
+            audited_violations: self.violations.total(),
+            load_rollbacks: self.load_rollbacks - start_rollbacks,
         }
     }
 
@@ -662,32 +946,7 @@ impl Process {
     ///
     /// Fails if `entry` is not an exported function of a loaded module.
     pub fn run(&mut self, entry: &str) -> Result<RunResult, LoadError> {
-        if !self.opts.predecode {
-            return self.run_with_attacker(entry, |_, _, _| {});
-        }
-        let mut vm = self.start_vm(entry)?;
-        let start_updates = self.updates;
-
-        let outcome = loop {
-            if vm.stats.steps >= self.opts.max_steps {
-                break Outcome::StepLimit;
-            }
-            if vm.stats.steps.is_multiple_of(1024) {
-                self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
-            }
-            match vm.step_cached(&mut self.mem, &self.tables, &mut self.icache) {
-                Ok(Event::Continue) => {}
-                Ok(Event::Halt { pc }) => break Outcome::CfiViolation { pc },
-                Ok(Event::Syscall) => match self.syscall(&mut vm) {
-                    SysOutcome::Continue => {}
-                    SysOutcome::Exit(code) => break Outcome::Exit { code },
-                    SysOutcome::Fault(msg) => break Outcome::Fault(msg),
-                },
-                Err(VmError::StepLimit) => break Outcome::StepLimit,
-                Err(e) => break Outcome::Fault(e.to_string()),
-            }
-        };
-        Ok(self.finish_run(outcome, &vm, start_updates))
+        self.run_loop(entry, Driver::Plain)
     }
 
     /// Runs `entry` under the paper's concurrent-attacker model (§4): the
@@ -695,6 +954,9 @@ impl Process {
     /// corrupt any writable sandbox memory (it is given the raw backing
     /// store, the registers, and the step count). Registers themselves
     /// are not directly modifiable — exactly the paper's threat model.
+    ///
+    /// Always runs uncached, since the attacker rewrites raw memory
+    /// between steps.
     ///
     /// # Errors
     ///
@@ -704,30 +966,7 @@ impl Process {
         entry: &str,
         mut attacker: impl FnMut(u64, &mut [u8], &[u64; 16]),
     ) -> Result<RunResult, LoadError> {
-        let mut vm = self.start_vm(entry)?;
-        let start_updates = self.updates;
-
-        let outcome = loop {
-            if vm.stats.steps >= self.opts.max_steps {
-                break Outcome::StepLimit;
-            }
-            attacker(vm.stats.steps, self.mem.raw_mut(), &vm.regs);
-            if vm.stats.steps.is_multiple_of(1024) {
-                self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
-            }
-            match vm.step(&mut self.mem, &self.tables) {
-                Ok(Event::Continue) => {}
-                Ok(Event::Halt { pc }) => break Outcome::CfiViolation { pc },
-                Ok(Event::Syscall) => match self.syscall(&mut vm) {
-                    SysOutcome::Continue => {}
-                    SysOutcome::Exit(code) => break Outcome::Exit { code },
-                    SysOutcome::Fault(msg) => break Outcome::Fault(msg),
-                },
-                Err(VmError::StepLimit) => break Outcome::StepLimit,
-                Err(e) => break Outcome::Fault(e.to_string()),
-            }
-        };
-        Ok(self.finish_run(outcome, &vm, start_updates))
+        self.run_loop(entry, Driver::Attacker(&mut attacker))
     }
 
     /// Runs `entry` with update transactions scripted at exact simulated
@@ -748,52 +987,122 @@ impl Process {
         interval: u64,
         duration: u64,
     ) -> Result<RunResult, LoadError> {
+        self.run_loop(entry, Driver::Scripted { interval, duration })
+    }
+
+    /// The single execution loop behind [`Process::run`],
+    /// [`Process::run_with_attacker`], and [`Process::run_with_updates`];
+    /// the `driver` supplies whatever happens between instructions.
+    fn run_loop(&mut self, entry: &str, mut driver: Driver<'_>) -> Result<RunResult, LoadError> {
         let mut vm = self.start_vm(entry)?;
         let start_updates = self.updates;
+        let start_rollbacks = self.load_rollbacks;
+        let start_tx = self.tables.tx_counters();
+
+        // Table version churn never touches code bytes, so the predecode
+        // cache stays valid under scripted updates; only the attacker
+        // (who rewrites raw memory between steps) forces uncached runs.
+        let cached = self.opts.predecode && !matches!(driver, Driver::Attacker(_));
 
         let tables = Arc::clone(&self.tables);
-        let mut next_update = interval;
         let mut in_flight: Option<mcfi_tables::SplitBump<'_>> = None;
+        let mut next_update = match driver {
+            Driver::Scripted { interval, .. } => interval,
+            _ => 0,
+        };
         let mut commit_at = 0u64;
 
         let outcome = loop {
             if vm.stats.steps >= self.opts.max_steps {
                 break Outcome::StepLimit;
             }
-            if in_flight.is_some() {
-                if vm.stats.cycles >= commit_at {
-                    in_flight.take().expect("checked is_some").finish();
-                    self.updates += 1;
-                    next_update += interval;
+            match &mut driver {
+                Driver::Plain => {}
+                Driver::Attacker(attacker) => {
+                    attacker(vm.stats.steps, self.mem.raw_mut(), &vm.regs);
                 }
-            } else if vm.stats.cycles >= next_update {
-                in_flight = Some(tables.bump_version_split());
-                commit_at = vm.stats.cycles + duration;
+                Driver::Scripted { interval, duration } => {
+                    if in_flight.is_some() {
+                        if vm.stats.cycles >= commit_at {
+                            in_flight.take().expect("checked is_some").finish();
+                            self.updates += 1;
+                            next_update += *interval;
+                        }
+                    } else if vm.stats.cycles >= next_update {
+                        in_flight = Some(tables.bump_version_split());
+                        commit_at = vm.stats.cycles + *duration;
+                    }
+                }
             }
-            // Table version churn never touches code bytes, so the
-            // predecode cache is as valid here as in a quiet run.
-            let stepped = if self.opts.predecode {
+            if vm.stats.steps.is_multiple_of(1024) {
+                self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
+            }
+            let stepped = if cached {
                 vm.step_cached(&mut self.mem, &self.tables, &mut self.icache)
             } else {
                 vm.step(&mut self.mem, &self.tables)
             };
             match stepped {
                 Ok(Event::Continue) => {}
-                Ok(Event::Halt { pc }) => break Outcome::CfiViolation { pc },
+                Ok(Event::Halt { pc }) => {
+                    if self.opts.violation_policy == ViolationPolicy::Audit {
+                        if let Some(resume) = self.audit_resume(&mut vm, pc) {
+                            vm.pc = resume;
+                            continue;
+                        }
+                    }
+                    break Outcome::CfiViolation { pc };
+                }
                 Ok(Event::Syscall) => match self.syscall(&mut vm) {
                     SysOutcome::Continue => {}
                     SysOutcome::Exit(code) => break Outcome::Exit { code },
-                    SysOutcome::Fault(msg) => break Outcome::Fault(msg),
+                    SysOutcome::Fault(kind) => break Outcome::Fault(kind),
                 },
-                Err(VmError::StepLimit) => break Outcome::StepLimit,
-                Err(e) => break Outcome::Fault(e.to_string()),
+                Err(e) => break vm_outcome(e),
             }
         };
         if let Some(b) = in_flight.take() {
             b.finish();
             self.updates += 1;
         }
-        Ok(self.finish_run(outcome, &vm, start_updates))
+        Ok(self.finish_run(outcome, &vm, start_updates, start_tx, start_rollbacks))
+    }
+
+    /// Handles a check-transaction `hlt` under [`ViolationPolicy::Audit`]:
+    /// records the violation and returns the address of the branch's
+    /// success-path `CallReg`/`JmpReg` so the run loop can resume there —
+    /// the branch then executes for real (return address pushed, target
+    /// still in the register), exactly as if the check had passed.
+    /// Returns `None` — halt anyway — when the `hlt` did not come from a
+    /// check sequence (a stray halt is not a policy decision).
+    fn audit_resume(&mut self, vm: &mut Vm, pc: u64) -> Option<u64> {
+        let (bary_slot, target) = vm.take_last_check()?;
+        let resume = self.branch_addr_for_slot(bary_slot)?;
+        // Diagnose the failure from the live tables. A bounded re-check
+        // can disagree with the guest's verdict (a concurrent update may
+        // have settled the skew since); record `kind: None` then.
+        let kind = match self.tables.check_bounded(bary_slot, target, &RetryConfig::default()) {
+            Err(CheckError::Violation(v)) => Some(v.kind),
+            _ => None,
+        };
+        self.violations.push(ViolationRecord { pc, bary_slot, target, kind });
+        Some(resume)
+    }
+
+    /// The absolute address of the raw branch instruction behind global
+    /// Bary slot `bary_slot` (slots are assigned sequentially in module
+    /// load order).
+    fn branch_addr_for_slot(&self, bary_slot: usize) -> Option<u64> {
+        let mut base = 0usize;
+        for lm in &self.modules {
+            let branches = &lm.module.aux.indirect_branches;
+            if bary_slot < base + branches.len() {
+                let b = &branches[bary_slot - base];
+                return Some(lm.code_base + b.branch_offset as u64);
+            }
+            base += branches.len();
+        }
+        None
     }
 
     fn syscall(&mut self, vm: &mut Vm) -> SysOutcome {
@@ -809,7 +1118,7 @@ impl Process {
                 for i in 0..c {
                     match self.mem.read8(b + i) {
                         Ok(byte) => self.stdout.push(byte),
-                        Err(e) => return SysOutcome::Fault(e.to_string()),
+                        Err(e) => return SysOutcome::Fault(FaultKind::SysMem(e)),
                     }
                 }
                 c
@@ -856,14 +1165,21 @@ impl Process {
             }
         } else if num == Sys::Dlopen as u64 {
             match self.mem.read_cstr(a) {
-                Ok(name) => match self.registry.remove(&name) {
+                Ok(name) => match self.registry.get(&name).cloned() {
+                    // A failed load has already been rolled back; the
+                    // library stays registered for a later retry, dlopen
+                    // reports failure to the guest, and the process keeps
+                    // running under its pre-load CFG.
                     Some(module) => match self.load(module) {
-                        Ok(()) => 1,
-                        Err(e) => return SysOutcome::Fault(e.to_string()),
+                        Ok(()) => {
+                            self.registry.remove(&name);
+                            1
+                        }
+                        Err(_) => 0,
                     },
                     None => 0,
                 },
-                Err(e) => return SysOutcome::Fault(e.to_string()),
+                Err(e) => return SysOutcome::Fault(FaultKind::SysMem(e)),
             }
         } else if num == Sys::Dlsym as u64 {
             match self.mem.read_cstr(a) {
@@ -880,7 +1196,7 @@ impl Process {
                     }
                     None => 0,
                 },
-                Err(e) => return SysOutcome::Fault(e.to_string()),
+                Err(e) => return SysOutcome::Fault(FaultKind::SysMem(e)),
             }
         } else if num == Sys::Cycles as u64 {
             vm.stats.cycles
@@ -890,15 +1206,35 @@ impl Process {
             self.execve_reached = true;
             u64::MAX
         } else {
-            return SysOutcome::Fault(format!("unknown syscall {num}"));
+            return SysOutcome::Fault(FaultKind::UnknownSyscall(num));
         };
         vm.regs[Reg::Rax.nibble() as usize] = ret;
         SysOutcome::Continue
     }
 }
 
+/// A §4 concurrent attacker: gets the pc, writable memory, and the
+/// register file between consecutive instructions.
+type AttackerFn<'a> = dyn FnMut(u64, &mut [u8], &[u64; 16]) + 'a;
+
+/// What happens between consecutive instructions of the unified run
+/// loop (see [`Process::run_loop`]).
+enum Driver<'a> {
+    /// Nothing: plain execution.
+    Plain,
+    /// The §4 concurrent attacker mutates writable memory between steps.
+    Attacker(&'a mut AttackerFn<'a>),
+    /// Scripted split update transactions at exact cycle intervals.
+    Scripted {
+        /// Cycles between the starts of consecutive updates.
+        interval: u64,
+        /// Cycles each update's mixed-version window stays open.
+        duration: u64,
+    },
+}
+
 enum SysOutcome {
     Continue,
     Exit(i64),
-    Fault(String),
+    Fault(FaultKind),
 }

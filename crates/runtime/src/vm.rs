@@ -11,7 +11,7 @@
 use std::fmt;
 
 use mcfi_machine::{cost_of, decode, AluOp, Cond, DecodeError, FaluOp, Inst, Reg};
-use mcfi_tables::IdTables;
+use mcfi_tables::{Id, IdTables};
 
 use crate::icache::PredecodeCache;
 use crate::mem::{MemFault, Sandbox};
@@ -96,6 +96,12 @@ pub struct VmStats {
     /// Predecode-cache rebuilds forced by a sandbox generation change
     /// (module loads, reprotections, loader patches).
     pub icache_invalidations: u64,
+    /// Guest-level check retries: `TaryLoad` executions that observed a
+    /// version differing from the branch ID's (the instrumented retry
+    /// loop re-executes the load until the versions agree). The
+    /// instrumented code spins invisibly to the host tables' own retry
+    /// counter, so the VM counts these itself.
+    pub check_retries: u64,
 }
 
 /// The machine state.
@@ -109,12 +115,35 @@ pub struct Vm {
     flags: i64,
     /// Statistics.
     pub stats: VmStats,
+    /// Bary slot of the most recent `BaryLoad` (the check sequence loads
+    /// the branch ID first).
+    last_bary: Option<usize>,
+    /// `(bary_slot, target)` of the most recent completed check-sequence
+    /// load pair. Cleared by every successful indirect transfer, so at a
+    /// `Hlt` it identifies the *failed* check — `None` at a `Hlt` means a
+    /// deliberate halt, not a violation.
+    last_check: Option<(usize, u64)>,
 }
 
 impl Vm {
     /// A machine with zeroed registers starting at `pc`.
     pub fn new(pc: u64) -> Self {
-        Vm { regs: [0; 16], pc, flags: 0, stats: VmStats::default() }
+        Vm {
+            regs: [0; 16],
+            pc,
+            flags: 0,
+            stats: VmStats::default(),
+            last_bary: None,
+            last_check: None,
+        }
+    }
+
+    /// Takes the `(bary_slot, target)` of the check whose failure led to
+    /// the current `Hlt`, if the halt came from a check sequence. The
+    /// runtime's `Audit` violation policy uses this to diagnose the
+    /// violation and resume execution at the target.
+    pub fn take_last_check(&mut self) -> Option<(usize, u64)> {
+        self.last_check.take()
     }
 
     fn reg(&self, r: Reg) -> u64 {
@@ -291,10 +320,12 @@ impl Vm {
                 self.push(mem, next)?;
                 next = self.reg(reg);
                 self.stats.indirect_taken += 1;
+                self.last_check = None;
             }
             Inst::JmpReg { reg } => {
                 next = self.reg(reg);
                 self.stats.indirect_taken += 1;
+                self.last_check = None;
             }
             Inst::JmpTable { index, table, len } => {
                 let idx = self.reg(index);
@@ -304,10 +335,12 @@ impl Vm {
                 // Jump tables live in the read-only code region.
                 next = mem.read64(u64::from(table) + idx * 8)?;
                 self.stats.indirect_taken += 1;
+                self.last_check = None;
             }
             Inst::Ret => {
                 next = self.pop(mem)?;
                 self.stats.indirect_taken += 1;
+                self.last_check = None;
             }
             Inst::Push { reg } => self.push(mem, self.reg(reg))?,
             Inst::Pop { reg } => {
@@ -320,13 +353,26 @@ impl Vm {
             Inst::TaryLoad { dst, addr } => {
                 // Reads the shared ID tables — outside the sandbox, exactly
                 // like the segment-based %gs access of the paper.
-                let word = tables.tary_word(self.reg(addr));
+                let target = self.reg(addr);
+                let word = tables.tary_word(target);
                 self.set_reg(dst, u64::from(word));
                 self.stats.checks += 1;
+                if let Some(slot) = self.last_bary {
+                    if let (Some(b), Some(t)) = (
+                        Id::from_word(tables.bary_word(slot)),
+                        Id::from_word(word),
+                    ) {
+                        if b.version() != t.version() {
+                            self.stats.check_retries += 1;
+                        }
+                    }
+                    self.last_check = Some((slot, target));
+                }
             }
             Inst::BaryLoad { dst, slot } => {
                 let word = tables.bary_word(slot as usize);
                 self.set_reg(dst, u64::from(word));
+                self.last_bary = Some(slot as usize);
             }
             Inst::FAlu { op, dst, src } => {
                 let a = f64::from_bits(self.reg(dst));

@@ -60,6 +60,65 @@ impl fmt::Display for CfiViolation {
 
 impl std::error::Error for CfiViolation {}
 
+/// A check transaction that exhausted its retry budget without ever
+/// observing version-consistent tables.
+///
+/// Under a live updater this cannot happen: the mixed-version window is
+/// bounded by the Bary phase of the in-flight update. A stall therefore
+/// diagnoses a *dead or wedged updater* — one that abandoned the
+/// transaction while the tables were skewed and whose damage could not
+/// be repaired (e.g. it still holds the update lock).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CheckStalled {
+    /// The Bary-table slot of the stalled indirect branch.
+    pub bary_slot: usize,
+    /// The address the branch attempted to reach.
+    pub target: u64,
+    /// How many retries were spent before giving up.
+    pub retries: u64,
+}
+
+impl fmt::Display for CheckStalled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "check stalled: branch {} -> {:#x} saw version skew for {} retries (updater dead?)",
+            self.bary_slot, self.target, self.retries
+        )
+    }
+}
+
+impl std::error::Error for CheckStalled {}
+
+/// Failure modes of a bounded check transaction
+/// ([`IdTables::check_bounded`]).
+///
+/// [`IdTables::check_bounded`]: crate::IdTables::check_bounded
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckError {
+    /// The transfer violates the CFG — the `hlt` outcome.
+    Violation(CfiViolation),
+    /// The retry budget ran out while the tables stayed version-skewed.
+    Stalled(CheckStalled),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Violation(v) => v.fmt(f),
+            CheckError::Stalled(s) => s.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<CfiViolation> for CheckError {
+    fn from(v: CfiViolation) -> Self {
+        CheckError::Violation(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

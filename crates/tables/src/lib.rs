@@ -45,6 +45,8 @@ pub mod stm;
 mod tables;
 pub mod wide;
 
-pub use error::{CfiViolation, ViolationKind};
+pub use error::{CfiViolation, CheckError, CheckStalled, ViolationKind};
 pub use id::{Ecn, Id, Version, ECN_LIMIT, VERSION_LIMIT};
-pub use tables::{IdTables, SplitBump, TablesConfig, TaryView, UpdateStats};
+pub use tables::{
+    IdTables, RetryConfig, SplitBump, TablesConfig, TaryView, TxCounters, UpdateStats,
+};

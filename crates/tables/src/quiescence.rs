@@ -121,6 +121,45 @@ mod tests {
     }
 
     #[test]
+    fn counter_reset_after_quiescence_defuses_version_warp() {
+        // The ABA mitigation end to end, under an injected version warp:
+        // updates push the tables toward the 14-bit wrap, the update
+        // counter records how many completed, and once every thread has
+        // quiesced the runtime may reset the counter — the wrap hazard
+        // requires 2^14 updates during ONE in-flight check, which a reset
+        // at a quiescent point rules out.
+        use crate::{IdTables, TablesConfig, VERSION_LIMIT};
+        use mcfi_chaos::{ChaosInjector, FaultPlan, FaultPoint};
+
+        let t = IdTables::new(TablesConfig { code_size: 16, bary_slots: 1 });
+        t.update(|a| (a == 4).then_some(0), |_| Some(0));
+        // Park the version 2 short of the wrap before the next update.
+        t.arm_chaos(ChaosInjector::arm(
+            FaultPlan::new().with(FaultPoint::VersionWarp, 1, 2),
+        ));
+
+        let q = QuiescenceTracker::new();
+        let checker = q.register();
+        let before = t.updates_since_reset();
+        for _ in 0..4 {
+            let stats = t.bump_version();
+            assert!(stats.completed);
+            assert!(t.check(0, 4).is_ok(), "checks survive the wrap");
+        }
+        assert_eq!(t.updates_since_reset(), before + 4);
+        assert!(t.current_version().raw() < 4, "version wrapped past 2^14");
+        assert!(u64::from(VERSION_LIMIT) > t.updates_since_reset());
+
+        // The checker thread hits a syscall (quiescent point): the epoch
+        // it observed is current, so the counter reset is safe.
+        let epoch = q.advance_epoch();
+        q.quiescent_point(checker);
+        assert!(q.all_quiescent_since(epoch));
+        t.reset_update_count();
+        assert_eq!(t.updates_since_reset(), 0);
+    }
+
+    #[test]
     fn tokens_are_unique() {
         let q = QuiescenceTracker::new();
         let a = q.register();

@@ -1,10 +1,12 @@
 //! The Bary/Tary ID tables and the two table transactions (paper §5).
 
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use mcfi_chaos::{ChaosInjector, FaultPoint};
 use parking_lot::Mutex;
 
-use crate::error::{CfiViolation, ViolationKind};
+use crate::error::{CfiViolation, CheckError, CheckStalled, ViolationKind};
 use crate::id::{Ecn, Id, Version, VERSION_LIMIT};
 
 /// Sizing for a pair of ID tables.
@@ -31,6 +33,41 @@ pub struct UpdateStats {
     pub bary_branches: usize,
     /// Total update transactions executed so far (ABA mitigation counter).
     pub updates_since_reset: u64,
+    /// Whether the transaction ran to completion. `false` only when an
+    /// armed fault plan aborted it partway (the updater "crashed"),
+    /// leaving the tables in the mixed-version window.
+    pub completed: bool,
+}
+
+/// Retry discipline for [`IdTables::check_bounded`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryConfig {
+    /// After every `escalate_after` fruitless retries the checker stops
+    /// trusting the updater: it attempts the update lock and, if it gets
+    /// it, repairs any abandoned transaction itself.
+    pub escalate_after: u64,
+    /// Total retry budget before the check gives up with
+    /// [`CheckStalled`]. A live updater's mixed-version window lasts one
+    /// Bary phase, far below this.
+    pub max_retries: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { escalate_after: 64, max_retries: 4096 }
+    }
+}
+
+/// Snapshot of the check-transaction resilience counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TxCounters {
+    /// Check retries caused by version skew (a concurrent update).
+    pub retries: u64,
+    /// Escalations: a bounded check exceeded `escalate_after` retries and
+    /// reached for the update lock.
+    pub escalations: u64,
+    /// Abandoned transactions repaired by completing the Bary phase.
+    pub repairs: u64,
 }
 
 /// The MCFI runtime ID tables.
@@ -51,6 +88,18 @@ pub struct IdTables {
     update_count: AtomicU64,
     /// Count of check-transaction retries, for instrumentation/benchmarks.
     retries: AtomicU64,
+    /// Count of bounded-check escalations to the update lock.
+    escalations: AtomicU64,
+    /// Count of abandoned transactions repaired by a checker.
+    repairs: AtomicU64,
+    /// Set when an update transaction was abandoned between its phases
+    /// (updater crash / poisoned `SplitBump`); cleared by repair.
+    abandoned: AtomicBool,
+    /// Fast disarmed-path gate for fault injection: a single relaxed load
+    /// on the *update* paths (check fast paths are never instrumented).
+    chaos_armed: AtomicBool,
+    /// The armed fault plan, if any.
+    chaos: Mutex<Option<Arc<ChaosInjector>>>,
 }
 
 impl IdTables {
@@ -65,6 +114,48 @@ impl IdTables {
             update_lock: Mutex::new(()),
             update_count: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            escalations: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            abandoned: AtomicBool::new(false),
+            chaos_armed: AtomicBool::new(false),
+            chaos: Mutex::new(None),
+        }
+    }
+
+    /// Arms a fault-injection plan: subsequent update transactions pass
+    /// through the plan's instrumented points. Testing machinery —
+    /// production configurations never call this, and the disarmed cost
+    /// is one relaxed atomic load per *update* transaction.
+    pub fn arm_chaos(&self, injector: Arc<ChaosInjector>) {
+        *self.chaos.lock() = Some(injector);
+        self.chaos_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarms fault injection.
+    pub fn disarm_chaos(&self) {
+        self.chaos_armed.store(false, Ordering::Release);
+        *self.chaos.lock() = None;
+    }
+
+    /// Reaches instrumented point `point`; returns the planned fault's
+    /// parameter when one fires on this occurrence.
+    #[inline]
+    fn chaos_fire(&self, point: FaultPoint) -> Option<u64> {
+        if !self.chaos_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.chaos.lock().as_ref().and_then(|c| c.fire(point))
+    }
+
+    /// Warps the global version counter close to the 14-bit limit when a
+    /// `version-warp` fault fires. Called at the head of every update
+    /// path, under the update lock and *before* the version bump — the
+    /// update then restamps every entry, so no skew is introduced, but
+    /// the next few updates exercise the wraparound.
+    fn chaos_warp_version(&self) {
+        if let Some(distance) = self.chaos_fire(FaultPoint::VersionWarp) {
+            let warped = (VERSION_LIMIT - 1).saturating_sub(distance as u32 % VERSION_LIMIT);
+            self.version.store(warped, Ordering::Release);
         }
     }
 
@@ -86,6 +177,32 @@ impl IdTables {
     /// Total check-transaction retries observed (version-mismatch loops).
     pub fn retry_count(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total bounded-check escalations to the update lock.
+    pub fn escalation_count(&self) -> u64 {
+        self.escalations.load(Ordering::Relaxed)
+    }
+
+    /// Total abandoned transactions repaired by checkers or
+    /// [`IdTables::repair_abandoned`].
+    pub fn repair_count(&self) -> u64 {
+        self.repairs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all three resilience counters at once.
+    pub fn tx_counters(&self) -> TxCounters {
+        TxCounters {
+            retries: self.retries.load(Ordering::Relaxed),
+            escalations: self.escalations.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether an update transaction is known to have been abandoned
+    /// between its phases and not yet repaired.
+    pub fn has_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
     }
 
     /// The `TxCheck` transaction (paper Fig. 4) for the indirect branch
@@ -144,6 +261,118 @@ impl IdTables {
                 },
             });
         }
+    }
+
+    /// The `TxCheck` transaction with a *bounded* retry loop (the
+    /// deployable variant of [`IdTables::check`]).
+    ///
+    /// [`IdTables::check`] encodes the paper's trust model: update
+    /// transactions are run by the trusted dynamic linker and always
+    /// finish, so retrying forever on version skew is fine. This variant
+    /// drops that assumption. On version skew it:
+    ///
+    /// 1. retries with exponential backoff (capped at 2^10 spin hints),
+    ///    which is all a live updater ever needs;
+    /// 2. every `escalate_after` retries, *escalates*: it tries the
+    ///    update lock, and — if the lock is free but the tables are still
+    ///    skewed — repairs the abandoned transaction by completing its
+    ///    Bary phase (see [`IdTables::repair_abandoned`]);
+    /// 3. after `max_retries` total retries (lock still held by a wedged
+    ///    updater), gives up with a diagnosable
+    ///    [`CheckStalled`] instead of livelocking.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::Violation`] mirrors [`IdTables::check`]'s error;
+    /// [`CheckError::Stalled`] reports retry-budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bary_slot` is out of range, like [`IdTables::check`].
+    pub fn check_bounded(
+        &self,
+        bary_slot: usize,
+        target: u64,
+        config: &RetryConfig,
+    ) -> Result<Ecn, CheckError> {
+        let mut retries: u64 = 0;
+        loop {
+            match self.check_once(bary_slot, target) {
+                Some(Ok(ecn)) => return Ok(ecn),
+                Some(Err(violation)) => return Err(CheckError::Violation(violation)),
+                None => {}
+            }
+            retries += 1;
+            if retries >= config.max_retries {
+                return Err(CheckError::Stalled(CheckStalled { bary_slot, target, retries }));
+            }
+            if config.escalate_after > 0 && retries.is_multiple_of(config.escalate_after) {
+                self.escalations.fetch_add(1, Ordering::Relaxed);
+                if let Some(guard) = self.update_lock.try_lock() {
+                    self.repair_locked(&guard);
+                    continue; // re-check immediately after a repair pass
+                }
+                // Lock held: a (possibly stalled) updater is in flight.
+            }
+            for _ in 0..(1u64 << retries.min(10)) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Detects and repairs an abandoned update transaction, returning
+    /// whether any entry needed repair.
+    ///
+    /// An updater that dies between the Tary and Bary phases (a dropped,
+    /// unfinished [`SplitBump`]; an injected `updater-crash`; a torn Tary
+    /// stream) strands the tables in the mixed-version window: every
+    /// check sees version skew forever. Because the in-flight transaction
+    /// was a version re-stamp, its ECNs are intact — completing it is
+    /// purely mechanical: re-stamp every stale ID (Tary, then a barrier,
+    /// then Bary, the same phase discipline as the original transaction)
+    /// with the already-installed global version. Checkers then see the
+    /// wholly-new CFG, exactly as if the updater had finished, so
+    /// linearizability is preserved.
+    ///
+    /// Blocks on the update lock; returns `false` without touching
+    /// anything when the tables are already consistent.
+    pub fn repair_abandoned(&self) -> bool {
+        let guard = self.update_lock.lock();
+        self.repair_locked(&guard)
+    }
+
+    /// The repair pass proper; requires the update lock.
+    fn repair_locked(&self, _guard: &parking_lot::MutexGuard<'_, ()>) -> bool {
+        let version = Version::new(self.version.load(Ordering::Acquire) % VERSION_LIMIT);
+        let mut repaired = false;
+        // Phase 1: finish the Tary side (a torn stream leaves stale
+        // entries here too), preserving ECNs.
+        for slot in &self.tary {
+            let word = slot.load(Ordering::Relaxed);
+            if let Some(id) = Id::from_word(word) {
+                if id.version() != version {
+                    repaired = true;
+                    slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+                }
+            }
+        }
+        fence(Ordering::SeqCst);
+        // Phase 2: finish the Bary side.
+        for slot in &self.bary {
+            let word = slot.load(Ordering::Relaxed);
+            if let Some(id) = Id::from_word(word) {
+                if id.version() != version {
+                    repaired = true;
+                    slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
+                }
+            }
+        }
+        if repaired {
+            self.repairs.fetch_add(1, Ordering::Relaxed);
+            self.update_count.fetch_add(1, Ordering::Relaxed);
+        }
+        self.abandoned.store(false, Ordering::Release);
+        repaired
     }
 
     /// Performs a *single* speculative check attempt without retrying.
@@ -232,6 +461,7 @@ impl IdTables {
         between: impl FnOnce(),
     ) -> UpdateStats {
         let _guard = self.update_lock.lock();
+        self.chaos_warp_version();
         let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
         self.version.store(next, Ordering::Release);
         let version = Version::new(next);
@@ -260,6 +490,13 @@ impl IdTables {
         between();
         fence(Ordering::SeqCst);
 
+        // An injected `updater-stall` wedges the updater here — lock
+        // held, tables version-skewed — for `param` microseconds.
+        // Concurrent bounded checks must ride it out by retrying.
+        if let Some(micros) = self.chaos_fire(FaultPoint::UpdaterStall) {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+
         // Phase 2: rewrite the Bary table.
         let mut bary_branches = 0;
         for (slot_idx, slot) in self.bary.iter().enumerate() {
@@ -279,6 +516,7 @@ impl IdTables {
             tary_targets,
             bary_branches,
             updates_since_reset: updates,
+            completed: true,
         }
     }
 
@@ -289,34 +527,7 @@ impl IdTables {
     /// that updates the version numbers of all IDs in the ID tables (but
     /// preserving the ECNs)".
     pub fn bump_version(&self) -> UpdateStats {
-        let _guard = self.update_lock.lock();
-        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
-        self.version.store(next, Ordering::Release);
-        let version = Version::new(next);
-        let mut tary_targets = 0;
-        for slot in &self.tary {
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                tary_targets += 1;
-                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
-            }
-        }
-        fence(Ordering::SeqCst);
-        let mut bary_branches = 0;
-        for slot in &self.bary {
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                bary_branches += 1;
-                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
-            }
-        }
-        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
-        UpdateStats {
-            version: next,
-            tary_targets,
-            bary_branches,
-            updates_since_reset: updates,
-        }
+        self.restamp(0, std::time::Duration::ZERO)
     }
 
     /// Like [`IdTables::bump_version`], but paced: sleeps `pause` after
@@ -326,12 +537,30 @@ impl IdTables {
     /// takes time proportional to the table size *on the same machine*,
     /// so checks genuinely overlap the mixed-version window and retry.
     pub fn bump_version_paced(&self, chunk: usize, pause: std::time::Duration) -> UpdateStats {
+        self.restamp(chunk, pause)
+    }
+
+    /// The version re-stamp all bump variants share. This is the path the
+    /// crash-shaped faults (`updater-crash`, `torn-tary`) instrument:
+    /// because a re-stamp preserves ECNs by construction, an abandoned one
+    /// is always repairable by completing the Bary phase
+    /// ([`IdTables::repair_abandoned`]) — unlike a CFG-changing
+    /// [`IdTables::update`], whose unfinished half cannot be reconstructed.
+    fn restamp(&self, chunk: usize, pause: std::time::Duration) -> UpdateStats {
         let _guard = self.update_lock.lock();
+        self.chaos_warp_version();
         let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
         self.version.store(next, Ordering::Release);
         let version = Version::new(next);
+        let torn_after = self.chaos_fire(FaultPoint::TornTary);
         let mut tary_targets = 0;
         for (i, slot) in self.tary.iter().enumerate() {
+            if torn_after == Some(i as u64) {
+                // The Tary stream tears here: entries before `i` carry the
+                // new version, the rest (and all of Bary) the old one.
+                self.abandoned.store(true, Ordering::Release);
+                return self.aborted_stats(next, tary_targets, 0);
+            }
             let word = slot.load(Ordering::Relaxed);
             if let Some(id) = Id::from_word(word) {
                 tary_targets += 1;
@@ -345,6 +574,16 @@ impl IdTables {
             }
         }
         fence(Ordering::SeqCst);
+        if self.chaos_fire(FaultPoint::UpdaterCrash).is_some() {
+            // The updater dies between the phases: Tary wholly new,
+            // Bary wholly old. The lock is released when the guard drops,
+            // so an escalating checker can get in and repair.
+            self.abandoned.store(true, Ordering::Release);
+            return self.aborted_stats(next, tary_targets, 0);
+        }
+        if let Some(micros) = self.chaos_fire(FaultPoint::UpdaterStall) {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
         let mut bary_branches = 0;
         for slot in &self.bary {
             let word = slot.load(Ordering::Relaxed);
@@ -359,7 +598,47 @@ impl IdTables {
             tary_targets,
             bary_branches,
             updates_since_reset: updates,
+            completed: true,
         }
+    }
+
+    /// Stats for a fault-aborted transaction (not counted as an update:
+    /// it never committed).
+    fn aborted_stats(&self, next: u32, tary_targets: usize, bary_branches: usize) -> UpdateStats {
+        UpdateStats {
+            version: next,
+            tary_targets,
+            bary_branches,
+            updates_since_reset: self.update_count.load(Ordering::Relaxed),
+            completed: false,
+        }
+    }
+
+    /// Installs `raw % 2^14` as the global version and re-stamps every
+    /// existing ID to it, preserving ECNs — both phases under the update
+    /// lock with the usual barrier between them.
+    ///
+    /// This is the test seam for exercising version wraparound without
+    /// executing 2^14 real transactions (the wide tables' 2^28 space
+    /// makes that approach outright infeasible — see
+    /// [`crate::wide::WideIdTables::force_version`]).
+    pub fn force_version(&self, raw: u32) {
+        let _guard = self.update_lock.lock();
+        let forced = raw % VERSION_LIMIT;
+        self.version.store(forced, Ordering::Release);
+        let version = Version::new(forced);
+        for slot in &self.tary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+            }
+        }
+        fence(Ordering::SeqCst);
+        for slot in &self.bary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
+            }
+        }
+        self.update_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Begins a version re-stamp and returns after the **Tary phase**:
@@ -371,6 +650,7 @@ impl IdTables {
     /// update transaction holds it across both phases.
     pub fn bump_version_split(&self) -> SplitBump<'_> {
         let guard = self.update_lock.lock();
+        self.chaos_warp_version();
         let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
         self.version.store(next, Ordering::Release);
         let version = Version::new(next);
@@ -381,7 +661,7 @@ impl IdTables {
             }
         }
         fence(Ordering::SeqCst);
-        SplitBump { tables: self, version, _guard: guard }
+        SplitBump { tables: self, version, finished: false, _guard: guard }
     }
 
     /// Number of update transactions since the last quiescent reset.
@@ -438,6 +718,7 @@ impl IdTables {
 pub struct SplitBump<'a> {
     tables: &'a IdTables,
     version: Version,
+    finished: bool,
     _guard: parking_lot::MutexGuard<'a, ()>,
 }
 
@@ -449,7 +730,7 @@ impl std::fmt::Debug for SplitBump<'_> {
 
 impl SplitBump<'_> {
     /// Runs the Bary phase, committing the new version.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
         for slot in &self.tables.bary {
             let word = slot.load(Ordering::Relaxed);
             if let Some(id) = Id::from_word(word) {
@@ -457,6 +738,22 @@ impl SplitBump<'_> {
             }
         }
         self.tables.update_count.fetch_add(1, Ordering::Relaxed);
+        self.finished = true;
+    }
+}
+
+impl Drop for SplitBump<'_> {
+    /// Dropping an unfinished split bump models an updater crash between
+    /// the phases: the tables are flagged abandoned (every target ID
+    /// carries the new version, every branch ID the old one) so checkers
+    /// and [`IdTables::repair_abandoned`] can diagnose and repair the
+    /// wedge. The update lock is released as the guard drops — a *leaked*
+    /// (`mem::forget`) split bump keeps the lock forever instead, which is
+    /// the stall that bounded checks report as `CheckStalled`.
+    fn drop(&mut self) {
+        if !self.finished {
+            self.tables.abandoned.store(true, Ordering::Release);
+        }
     }
 }
 
@@ -650,6 +947,193 @@ mod tests {
         assert_eq!(t.updates_since_reset(), 3);
         t.reset_update_count();
         assert_eq!(t.updates_since_reset(), 0);
+    }
+
+    #[test]
+    fn bounded_check_matches_unbounded_on_settled_tables() {
+        let t = demo_tables();
+        let cfg = RetryConfig::default();
+        assert_eq!(t.check_bounded(0, 8, &cfg).unwrap(), Ecn::new(1));
+        assert_eq!(
+            t.check_bounded(0, 16, &cfg),
+            Err(CheckError::Violation(t.check(0, 16).unwrap_err()))
+        );
+        assert_eq!(
+            t.check_bounded(0, 9, &cfg),
+            Err(CheckError::Violation(t.check(0, 9).unwrap_err()))
+        );
+    }
+
+    #[test]
+    fn abandoned_split_bump_is_repaired_by_bounded_check() {
+        let t = demo_tables();
+        drop(t.bump_version_split()); // updater "crashes" between phases
+        assert!(t.has_abandoned());
+        // An unbounded check would livelock here. The bounded check
+        // escalates, repairs, and completes.
+        let cfg = RetryConfig { escalate_after: 4, max_retries: 256 };
+        assert_eq!(t.check_bounded(0, 8, &cfg).unwrap(), Ecn::new(1));
+        assert!(!t.has_abandoned());
+        assert_eq!(t.repair_count(), 1);
+        assert!(t.escalation_count() >= 1);
+        // The repaired tables enforce the original policy.
+        assert!(t.check(1, 16).is_ok());
+        assert!(t.check(0, 16).is_err());
+    }
+
+    #[test]
+    fn leaked_split_bump_stalls_bounded_checks_diagnosably() {
+        let t = demo_tables();
+        std::mem::forget(t.bump_version_split()); // lock held forever
+        let cfg = RetryConfig { escalate_after: 4, max_retries: 64 };
+        let err = t.check_bounded(0, 8, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::Stalled(CheckStalled { bary_slot: 0, target: 8, retries: 64 })
+        );
+        // Violations still short-circuit: an invalid target never needs
+        // version agreement, so it is reported even under the stall.
+        assert!(matches!(t.check_bounded(0, 12, &cfg), Err(CheckError::Violation(_))));
+    }
+
+    #[test]
+    fn torn_tary_fault_is_repaired_preserving_ecns() {
+        let t = demo_tables();
+        let before: Vec<_> = t.tary_view().targets().map(|(a, id)| (a, id.ecn())).collect();
+        t.arm_chaos(ChaosInjector::arm(
+            mcfi_chaos::FaultPlan::new().with(FaultPoint::TornTary, 1, 3),
+        ));
+        let stats = t.bump_version();
+        assert!(!stats.completed, "the bump must abort at the tear");
+        assert!(t.has_abandoned());
+        assert!(t.repair_abandoned(), "skewed entries must need repair");
+        assert!(!t.has_abandoned());
+        let after: Vec<_> = t.tary_view().targets().map(|(a, id)| (a, id.ecn())).collect();
+        assert_eq!(before, after, "repair preserves every ECN");
+        assert!(t.check(0, 8).is_ok());
+        assert!(t.check(1, 20).is_ok());
+        assert!(t.check(1, 8).is_err());
+        t.disarm_chaos();
+    }
+
+    #[test]
+    fn updater_crash_fault_is_recovered_by_checkers() {
+        let t = demo_tables();
+        t.arm_chaos(ChaosInjector::arm(
+            mcfi_chaos::FaultPlan::new().with(FaultPoint::UpdaterCrash, 1, 0),
+        ));
+        let stats = t.bump_version();
+        assert!(!stats.completed);
+        assert!(t.has_abandoned());
+        let cfg = RetryConfig { escalate_after: 4, max_retries: 256 };
+        assert_eq!(t.check_bounded(1, 16, &cfg).unwrap(), Ecn::new(2));
+        assert_eq!(t.repair_count(), 1);
+        // Once repaired, the next bump completes normally (the plan's
+        // single fault is spent).
+        assert!(t.bump_version().completed);
+    }
+
+    #[test]
+    fn version_warp_fault_drives_the_wrap() {
+        let t = demo_tables();
+        t.arm_chaos(ChaosInjector::arm(
+            mcfi_chaos::FaultPlan::new().with(FaultPoint::VersionWarp, 1, 1),
+        ));
+        let s1 = t.bump_version(); // warped to LIMIT-2, bumps to LIMIT-1
+        assert_eq!(s1.version, VERSION_LIMIT - 1);
+        assert!(t.check(0, 8).is_ok());
+        let s2 = t.bump_version(); // wraps to 0
+        assert_eq!(s2.version, 0);
+        assert!(t.check(0, 8).is_ok());
+        assert!(t.check(0, 16).is_err());
+    }
+
+    #[test]
+    fn updater_stall_fault_delays_but_completes() {
+        let t = demo_tables();
+        t.arm_chaos(ChaosInjector::arm(
+            mcfi_chaos::FaultPlan::new().with(FaultPoint::UpdaterStall, 1, 50),
+        ));
+        let stats = t.update(
+            |a| matches!(a, 8 | 16 | 20).then_some(1),
+            |_| Some(1),
+        );
+        assert!(stats.completed);
+        assert!(t.check(0, 16).is_ok(), "post-stall policy is installed");
+    }
+
+    #[test]
+    fn force_version_restamps_both_tables() {
+        let t = demo_tables();
+        t.force_version(VERSION_LIMIT - 2);
+        assert_eq!(t.current_version(), Version::new(VERSION_LIMIT - 2));
+        assert!(t.check(0, 8).is_ok(), "no skew after forcing");
+        assert!(t.bump_version().completed);
+        assert!(t.bump_version().completed); // wraps to 0
+        assert_eq!(t.current_version(), Version::new(0));
+        assert!(t.check(0, 8).is_ok());
+    }
+
+    #[test]
+    fn repair_is_a_no_op_on_consistent_tables() {
+        let t = demo_tables();
+        assert!(!t.repair_abandoned());
+        assert_eq!(t.repair_count(), 0);
+        assert_eq!(t.updates_since_reset(), 1, "no phantom update recorded");
+    }
+
+    #[test]
+    fn concurrent_bounded_checks_survive_an_updater_crash() {
+        // The linearizability property under the crash fault: checkers
+        // using the bounded transaction recover from an abandoned
+        // re-stamp without ever validating a cross-class edge.
+        let t = Arc::new(IdTables::new(TablesConfig { code_size: 64, bary_slots: 1 }));
+        t.update(
+            |a| match a {
+                8 => Some(1),
+                16 => Some(2),
+                _ => None,
+            },
+            |_| Some(1),
+        );
+        t.arm_chaos(ChaosInjector::arm(
+            mcfi_chaos::FaultPlan::new().with(FaultPoint::UpdaterCrash, 2, 0),
+        ));
+        let stop = Arc::new(AtomicU32::new(0));
+        let cfg = RetryConfig { escalate_after: 8, max_retries: 1 << 20 };
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    t.check_bounded(0, 8, &cfg).expect("8 is always legal");
+                    assert!(
+                        matches!(
+                            t.check_bounded(0, 16, &cfg),
+                            Err(CheckError::Violation(_))
+                        ),
+                        "16 must never match slot 0"
+                    );
+                    ok += 1;
+                }
+                ok
+            }));
+        }
+        assert!(t.bump_version().completed);
+        let crashed = t.bump_version(); // planned crash between phases
+        assert!(!crashed.completed);
+        // The updater is now dead and the tables are skewed. Progress
+        // depends entirely on a checker escalating and repairing.
+        while t.repair_count() == 0 {
+            std::thread::yield_now();
+        }
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+        assert!(!t.has_abandoned());
     }
 
     #[test]

@@ -165,6 +165,38 @@ impl WideIdTables {
         }
     }
 
+    /// The current raw global version (wraps at `2^28`).
+    pub fn current_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire) % WIDE_VERSION_LIMIT
+    }
+
+    /// Installs `raw % 2^28` as the global version and re-stamps every
+    /// existing ID to it, preserving ECNs, under the usual two-phase
+    /// discipline (Tary, barrier, Bary) and the update lock.
+    ///
+    /// Executing 2^28 real transactions to reach the wraparound would
+    /// take hours even in a release build; this seam lets fault-injection
+    /// tests park the counter just below the limit and then drive real
+    /// updates across it. Both tables are re-stamped to the forced
+    /// version — warping the counter alone would strand the tables in
+    /// permanent version skew.
+    pub fn force_version(&self, raw: u64) {
+        let _guard = self.update_lock.lock();
+        let forced = raw % WIDE_VERSION_LIMIT;
+        self.version.store(forced, Ordering::Release);
+        for slot in &self.tary {
+            if let Some(id) = WideId::from_word(slot.load(Ordering::Relaxed)) {
+                slot.store(WideId::encode(id.ecn(), forced).word(), Ordering::Relaxed);
+            }
+        }
+        fence(Ordering::SeqCst);
+        for slot in &self.bary {
+            if let Some(id) = WideId::from_word(slot.load(Ordering::Relaxed)) {
+                slot.store(WideId::encode(id.ecn(), forced).word(), Ordering::Release);
+            }
+        }
+    }
+
     fn load_tary_word(&self, target: u64) -> u64 {
         let byte = target as usize;
         let idx = byte / 8;
@@ -229,6 +261,26 @@ mod tests {
     #[test]
     fn version_space_vastly_exceeds_narrow_ids() {
         assert!(WIDE_VERSION_LIMIT / u64::from(crate::VERSION_LIMIT) == 1 << 14);
+    }
+
+    #[test]
+    fn wide_version_wraparound_is_survivable() {
+        // The wide-ID analogue of the narrow wraparound test (DESIGN.md
+        // §5): park the counter just below 2^28 via the fault-injection
+        // seam, then drive real updates across the wrap.
+        let t = WideIdTables::new(64, 1);
+        let install = |tables: &WideIdTables| {
+            tables.update(|a| (a == 8).then_some(7), |_| Some(7));
+        };
+        install(&t);
+        t.force_version(WIDE_VERSION_LIMIT - 3);
+        assert!(t.check(0, 8).is_ok(), "forced version must not skew the tables");
+        for step in 0..6 {
+            install(&t);
+            assert!(t.check(0, 8).is_ok(), "step {step} across the wrap");
+            assert!(t.check(0, 16).is_err(), "step {step}: policy still enforced");
+        }
+        assert_eq!(t.current_version(), 3, "counter wrapped through zero");
     }
 
     #[test]
