@@ -53,17 +53,31 @@ pub enum FaultPoint {
     /// CFG regeneration fails during `dlopen`, after the module has
     /// been mapped, relocated, and made executable.
     CfgRegenFail,
+    /// A *schedule point* under the `mcfi-modelcheck` deterministic
+    /// scheduler: every shadow atomic/lock operation reaches this site,
+    /// so `sched-point@k` kills the updater at its `k`-th operation —
+    /// crash-site *enumeration* (all sites) instead of the fixed,
+    /// hand-chosen crash sites above. Never reached in production or
+    /// wall-clock test builds.
+    SchedPoint,
 }
 
 /// Every fault point, in wire-format order.
-pub const ALL_POINTS: [FaultPoint; 6] = [
+pub const ALL_POINTS: [FaultPoint; 7] = [
     FaultPoint::UpdaterCrash,
     FaultPoint::UpdaterStall,
     FaultPoint::TornTary,
     FaultPoint::VersionWarp,
     FaultPoint::VerifierReject,
     FaultPoint::CfgRegenFail,
+    FaultPoint::SchedPoint,
 ];
+
+/// The number of leading [`ALL_POINTS`] entries that are reachable in a
+/// production (non-model-checked) build; [`FaultPlan::random`] draws
+/// only from these so wall-clock chaos plans never waste a fault on a
+/// site that cannot fire.
+const RUNTIME_POINTS: usize = 6;
 
 impl FaultPoint {
     fn index(self) -> usize {
@@ -79,6 +93,7 @@ impl FaultPoint {
             FaultPoint::VersionWarp => "version-warp",
             FaultPoint::VerifierReject => "verifier-reject",
             FaultPoint::CfgRegenFail => "cfg-regen-fail",
+            FaultPoint::SchedPoint => "sched-point",
         }
     }
 }
@@ -161,7 +176,7 @@ impl FaultPlan {
         let mut rng = XorShift64::new(seed);
         let faults = (0..count)
             .map(|_| {
-                let point = ALL_POINTS[(rng.next() % ALL_POINTS.len() as u64) as usize];
+                let point = ALL_POINTS[(rng.next() % RUNTIME_POINTS as u64) as usize];
                 let nth = 1 + rng.next() % 3;
                 let param = match point {
                     FaultPoint::UpdaterStall => rng.next() % 500,

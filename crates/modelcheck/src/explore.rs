@@ -1,0 +1,269 @@
+//! Schedule exploration: bounded-exhaustive DFS, seeded random walks,
+//! crash-site sweeps, and trace replay.
+//!
+//! The DFS enumerates every schedule reachable under the preemption
+//! bound by replaying a decision prefix and letting the scheduler take
+//! first options beyond it; after each execution the deepest decision
+//! with an untried alternative advances, exactly like iterative path
+//! enumeration in a stateless model checker (CHESS-style). Executions
+//! are deterministic functions of their decision list, so no state
+//! needs saving between runs — each run rebuilds the scenario from
+//! scratch via the `make` closure.
+
+use core::fmt;
+use std::collections::HashSet;
+
+use crate::sched::{run_one, Decision, ExecOutcome, ExecResult, ExecSpec, RunParams};
+use crate::trace::ScheduleTrace;
+
+/// Search budget and bounds for one exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExploreConfig {
+    /// How many times the search may switch away from a *runnable*
+    /// thread per execution. Empirically 2 catches most interleaving
+    /// bugs (Musuvathi & Qadeer); 3 is a deep nightly setting.
+    pub preemption_bound: u32,
+    /// Per-execution schedule-point budget; exceeding it is reported as
+    /// a livelock.
+    pub max_steps: u64,
+    /// Cap on executions per exploration call; the report notes whether
+    /// the search exhausted the space or hit this cap.
+    pub max_schedules: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig { preemption_bound: 2, max_steps: 20_000, max_schedules: 1_000_000 }
+    }
+}
+
+/// A failing execution, packaged for reproduction: the replayable trace
+/// plus what went wrong.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counterexample {
+    /// Replay this with [`replay`] to reproduce the failure exactly.
+    pub trace: ScheduleTrace,
+    /// The failing outcome (never [`ExecOutcome::Ok`]).
+    pub outcome: ExecOutcome,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match &self.outcome {
+            ExecOutcome::Ok => "ok (not a counterexample)",
+            ExecOutcome::Fail(msg) => msg.as_str(),
+            ExecOutcome::Livelock => "livelock",
+            ExecOutcome::Deadlock => "deadlock",
+        };
+        write!(f, "{what}\n  replay trace: {}", self.trace.wire())
+    }
+}
+
+/// What a bounded-exhaustive exploration found.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExploreReport {
+    /// Executions run.
+    pub schedules: u64,
+    /// Executions that passed every oracle.
+    pub ok_executions: u64,
+    /// The first failing execution, if any (the search stops on it).
+    pub counterexample: Option<Counterexample>,
+    /// Whether the bounded space was fully enumerated (`false` when the
+    /// `max_schedules` cap cut the search short).
+    pub exhausted: bool,
+}
+
+/// Advances DFS state: the decision prefix that flips the deepest
+/// not-yet-exhausted branch of the previous execution, or `None` when
+/// every branch is spent.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<u8>> {
+    for i in (0..decisions.len()).rev() {
+        let d = decisions[i];
+        if d.choice + 1 < d.options {
+            let mut prefix: Vec<u8> = decisions[..i].iter().map(|x| x.choice).collect();
+            prefix.push(d.choice + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+fn dfs(
+    config: ExploreConfig,
+    kill: Option<(String, u64)>,
+    make: &dyn Fn() -> ExecSpec,
+) -> (ExploreReport, bool) {
+    let mut prefix = Vec::new();
+    let mut schedules = 0u64;
+    let mut ok_executions = 0u64;
+    let mut any_kill_fired = false;
+    loop {
+        if schedules >= config.max_schedules {
+            return (
+                ExploreReport { schedules, ok_executions, counterexample: None, exhausted: false },
+                any_kill_fired,
+            );
+        }
+        let result = run_one(
+            make(),
+            RunParams {
+                prescribed: prefix,
+                rng_seed: None,
+                preemption_bound: config.preemption_bound,
+                max_steps: config.max_steps,
+                kill: kill.clone(),
+            },
+        );
+        schedules += 1;
+        any_kill_fired |= result.kill_fired;
+        if result.outcome == ExecOutcome::Ok {
+            ok_executions += 1;
+        } else {
+            let mut trace = ScheduleTrace::from_decisions(0, &result.decisions);
+            if let Some((victim, nth)) = &kill {
+                trace = trace.with_kill(victim, *nth);
+            }
+            return (
+                ExploreReport {
+                    schedules,
+                    ok_executions,
+                    counterexample: Some(Counterexample { trace, outcome: result.outcome }),
+                    exhausted: false,
+                },
+                any_kill_fired,
+            );
+        }
+        match next_prefix(&result.decisions) {
+            Some(p) => prefix = p,
+            None => {
+                return (
+                    ExploreReport {
+                        schedules,
+                        ok_executions,
+                        counterexample: None,
+                        exhausted: true,
+                    },
+                    any_kill_fired,
+                )
+            }
+        }
+    }
+}
+
+/// Bounded-exhaustive DFS over every schedule of the scenario `make`
+/// builds, under `config`'s preemption bound. Stops at the first
+/// counterexample.
+pub fn explore(config: ExploreConfig, make: impl Fn() -> ExecSpec) -> ExploreReport {
+    dfs(config, None, &make).0
+}
+
+/// What a random walk found.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RandomReport {
+    /// Executions run.
+    pub runs: u64,
+    /// How many *distinct* schedules those runs covered (random walks
+    /// collide; this is the honest coverage number).
+    pub distinct_schedules: u64,
+    /// The first failing execution, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Runs `runs` randomly-scheduled executions seeded from `seed` (each
+/// run perturbs the seed deterministically, so the whole walk replays
+/// from one number). Complements the DFS: random walks reach deep
+/// interleavings the preemption bound excludes.
+pub fn explore_random(
+    config: ExploreConfig,
+    seed: u64,
+    runs: u64,
+    make: impl Fn() -> ExecSpec,
+) -> RandomReport {
+    let mut distinct: HashSet<Vec<u8>> = HashSet::new();
+    for i in 0..runs {
+        let run_seed = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let result = run_one(
+            make(),
+            RunParams {
+                prescribed: Vec::new(),
+                rng_seed: Some(run_seed),
+                preemption_bound: config.preemption_bound,
+                max_steps: config.max_steps,
+                kill: None,
+            },
+        );
+        distinct.insert(result.decisions.iter().map(|d| d.choice).collect());
+        if result.outcome != ExecOutcome::Ok {
+            return RandomReport {
+                runs: i + 1,
+                distinct_schedules: distinct.len() as u64,
+                counterexample: Some(Counterexample {
+                    trace: ScheduleTrace::from_decisions(run_seed, &result.decisions),
+                    outcome: result.outcome,
+                }),
+            };
+        }
+    }
+    RandomReport { runs, distinct_schedules: distinct.len() as u64, counterexample: None }
+}
+
+/// Replays a trace against the scenario `make` builds, reproducing the
+/// recorded execution decision-for-decision.
+pub fn replay(config: ExploreConfig, trace: &ScheduleTrace, make: impl Fn() -> ExecSpec) -> ExecResult {
+    run_one(
+        make(),
+        RunParams {
+            prescribed: trace.decisions.clone(),
+            rng_seed: (trace.seed != 0).then_some(trace.seed),
+            preemption_bound: config.preemption_bound,
+            max_steps: config.max_steps,
+            kill: (!trace.victim.is_empty()).then(|| (trace.victim.clone(), trace.kill_nth)),
+        },
+    )
+}
+
+/// What a crash-site sweep found.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SweepReport {
+    /// Crash sites tried (the victim was killed at its 1st, 2nd, …
+    /// schedule point until it ran out of points).
+    pub sites: u64,
+    /// Total executions across all sites.
+    pub schedules: u64,
+    /// The first failing execution, if any; its trace carries the
+    /// victim and site for replay.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Kills the thread named `victim` at **every** one of its schedule
+/// points in turn, running a full bounded DFS per crash site: for site
+/// `k`, every explored schedule crashes the victim at its `k`-th shadow
+/// operation mid-flight (lock guards release on unwind, stores before
+/// the site stay, stores after never happen). The sweep ends at the
+/// first site no schedule reaches — the victim has fewer points.
+///
+/// This is how the Tary-before-Bary crash invariant gets checked at
+/// every instruction boundary of `TxUpdate` rather than at the
+/// handful of named chaos fault points.
+pub fn crash_sweep(
+    config: ExploreConfig,
+    victim: &str,
+    make: impl Fn() -> ExecSpec,
+) -> SweepReport {
+    let mut sites = 0u64;
+    let mut schedules = 0u64;
+    for k in 1.. {
+        let (report, any_fired) = dfs(config, Some((victim.to_string(), k)), &make);
+        schedules += report.schedules;
+        if let Some(cx) = report.counterexample {
+            sites += 1;
+            return SweepReport { sites, schedules, counterexample: Some(cx) };
+        }
+        if !any_fired {
+            // No schedule reached the k-th victim point: sweep done.
+            return SweepReport { sites, schedules, counterexample: None };
+        }
+        sites += 1;
+    }
+    unreachable!("the sweep terminates when the victim runs out of schedule points")
+}

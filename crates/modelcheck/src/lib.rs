@@ -1,0 +1,84 @@
+//! `mcfi-modelcheck` — a deterministic-interleaving model checker for
+//! the MCFI ID-table transactions.
+//!
+//! The paper's Fig. 3 protocol (`TxCheck`/`TxUpdate`) is lock-free on
+//! the read side and its correctness hinges on a precise order of
+//! atomic effects: version bump, Tary stamping, an SeqCst fence, Bary
+//! stamping. Stress tests sample interleavings; this crate *enumerates*
+//! them. The table code is instantiated over the shadow facade
+//! [`McSync`], whose every atomic access, lock operation, and fence
+//! reports to a controlled scheduler before taking effect, and the
+//! scheduler explores:
+//!
+//! - **bounded-exhaustive DFS** ([`explore`]) — every interleaving
+//!   reachable with at most N preemptions (N = 2 covers most known
+//!   concurrency-bug patterns);
+//! - **seeded random walks** ([`explore_random`]) — deep schedules the
+//!   preemption bound excludes;
+//! - **crash-site sweeps** ([`crash_sweep`]) — the updater killed at
+//!   *each* of its schedule points in turn, checking the crash-safety
+//!   invariant (Tary stamped before Bary) at instruction-boundary
+//!   granularity.
+//!
+//! Three oracles hang off [`ExecSpec`]: a per-schedule-point state
+//! invariant, per-thread assertions inside the thread bodies (use
+//! [`fail`]), and a post-execution finale. A failing schedule is
+//! returned as a [`Counterexample`] whose [`ScheduleTrace`] replays the
+//! exact interleaving from a one-line wire string ([`replay`]).
+//!
+//! ```
+//! use mcfi_modelcheck::{explore, ExecSpec, ExploreConfig, McTables, ThreadSpec};
+//! use mcfi_tables::TablesConfig;
+//! use std::sync::Arc;
+//!
+//! let report = explore(ExploreConfig { max_steps: 500, ..Default::default() }, || {
+//!     let t = Arc::new(McTables::new(TablesConfig { code_size: 16, bary_slots: 1 }));
+//!     t.update(|addr| (addr == 8).then_some(1), |_| Some(1));
+//!     let (a, b) = (Arc::clone(&t), Arc::clone(&t));
+//!     ExecSpec {
+//!         threads: vec![
+//!             ThreadSpec::new("checker", move || {
+//!                 let _ = a.check(0, 8);
+//!             }),
+//!             ThreadSpec::new("updater", move || {
+//!                 b.bump_version();
+//!             }),
+//!         ],
+//!         invariant: None,
+//!         finale: None,
+//!     }
+//! });
+//! assert!(report.counterexample.is_none());
+//! assert!(report.exhausted);
+//! ```
+//!
+//! Production code is untouched by all of this: `IdTables` remains the
+//! `StdSync` instantiation, monomorphized to the exact pre-facade fast
+//! path.
+
+#![forbid(unsafe_code)]
+
+mod explore;
+mod sched;
+mod shadow;
+mod trace;
+
+pub use explore::{
+    crash_sweep, explore, explore_random, replay, Counterexample, ExploreConfig, ExploreReport,
+    RandomReport, SweepReport,
+};
+pub use sched::{fail, Decision, ExecOutcome, ExecResult, ExecSpec, InvariantFn, ThreadSpec};
+pub use shadow::{McAtomicBool, McAtomicU32, McAtomicU64, McMutex, McSync};
+pub use trace::{ScheduleTrace, TraceParseError};
+
+/// The model-checked ID tables: same code as the production
+/// [`mcfi_tables::IdTables`], instantiated over the shadow facade so
+/// every table access is a schedule point.
+pub type McTables = mcfi_tables::IdTablesAt<McSync>;
+
+/// The model-checked wide (64-bit-word) tables.
+pub type McWideTables = mcfi_tables::wide::WideIdTablesAt<McSync>;
+
+/// The model-checked MCFI strategy (tables + Fig. 3 transactions behind
+/// the `CheckStrategy` trait).
+pub type McStrategy = mcfi_tables::stm::McfiStrategyAt<McSync>;

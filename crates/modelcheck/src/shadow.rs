@@ -1,0 +1,235 @@
+//! The shadow synchronization family: [`McSync`].
+//!
+//! Every operation on a shadow primitive reaches a schedule point
+//! *before* it takes effect, so the scheduler can interleave any other
+//! thread between two accesses — exactly the granularity at which the
+//! table protocol can go wrong. The primitives themselves delegate to
+//! the real `std` atomics at `SeqCst`: since only one model thread runs
+//! at a time, the memory model degenerates to sequential consistency
+//! and the interesting nondeterminism lives entirely in the
+//! interleaving choices, which the scheduler enumerates. (Weak-memory
+//! reorderings are out of scope — the protocol's orderings are already
+//! release/acquire-correct by construction, and the bugs this checker
+//! hunts are interleaving and crash-atomicity bugs.)
+//!
+//! Outside an execution (no scheduler registered on the current thread)
+//! every operation is a plain pass-through, so the driver thread can
+//! build tables and oracles can inspect them freely.
+
+use core::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use mcfi_tables::sync::{AtomicBoolOps, AtomicU32Ops, AtomicU64Ops, MutexOps, SyncFacade};
+
+use crate::sched::{block_current_on, schedule_point, wake_blocked_on, yield_hint};
+
+/// The model-checked facade. `IdTablesAt<McSync>` is a table whose
+/// every protocol-relevant access is a schedule point.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct McSync;
+
+/// Shadow 32-bit atomic: schedule point, then the `SeqCst` operation.
+#[derive(Debug)]
+pub struct McAtomicU32(AtomicU32);
+
+impl AtomicU32Ops for McAtomicU32 {
+    fn new(value: u32) -> Self {
+        McAtomicU32(AtomicU32::new(value))
+    }
+    fn load(&self, _order: Ordering) -> u32 {
+        schedule_point();
+        self.0.load(Ordering::SeqCst)
+    }
+    fn store(&self, value: u32, _order: Ordering) {
+        schedule_point();
+        self.0.store(value, Ordering::SeqCst);
+    }
+    fn fetch_add(&self, value: u32, _order: Ordering) -> u32 {
+        schedule_point();
+        self.0.fetch_add(value, Ordering::SeqCst)
+    }
+    fn fetch_sub(&self, value: u32, _order: Ordering) -> u32 {
+        schedule_point();
+        self.0.fetch_sub(value, Ordering::SeqCst)
+    }
+    fn fetch_or(&self, value: u32, _order: Ordering) -> u32 {
+        schedule_point();
+        self.0.fetch_or(value, Ordering::SeqCst)
+    }
+    fn fetch_and(&self, value: u32, _order: Ordering) -> u32 {
+        schedule_point();
+        self.0.fetch_and(value, Ordering::SeqCst)
+    }
+    fn compare_exchange_weak(
+        &self,
+        current: u32,
+        new: u32,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u32, u32> {
+        schedule_point();
+        // The strong variant underneath: spurious failure is extra
+        // nondeterminism the schedule search does not need (a spurious
+        // retry re-reads and re-CASes, which the search already covers
+        // via interleaving the loop's iterations).
+        self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+/// Shadow 64-bit atomic.
+#[derive(Debug)]
+pub struct McAtomicU64(AtomicU64);
+
+impl AtomicU64Ops for McAtomicU64 {
+    fn new(value: u64) -> Self {
+        McAtomicU64(AtomicU64::new(value))
+    }
+    fn load(&self, _order: Ordering) -> u64 {
+        schedule_point();
+        self.0.load(Ordering::SeqCst)
+    }
+    fn store(&self, value: u64, _order: Ordering) {
+        schedule_point();
+        self.0.store(value, Ordering::SeqCst);
+    }
+    fn fetch_add(&self, value: u64, _order: Ordering) -> u64 {
+        schedule_point();
+        self.0.fetch_add(value, Ordering::SeqCst)
+    }
+}
+
+/// Shadow atomic flag.
+#[derive(Debug)]
+pub struct McAtomicBool(AtomicBool);
+
+impl AtomicBoolOps for McAtomicBool {
+    fn new(value: bool) -> Self {
+        McAtomicBool(AtomicBool::new(value))
+    }
+    fn load(&self, _order: Ordering) -> bool {
+        schedule_point();
+        self.0.load(Ordering::SeqCst)
+    }
+    fn store(&self, value: bool, _order: Ordering) {
+        schedule_point();
+        self.0.store(value, Ordering::SeqCst);
+    }
+}
+
+static NEXT_MUTEX_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Shadow mutex. Acquisition is a schedule point plus a CAS on an
+/// ownership flag; contention parks the thread in the *scheduler*
+/// (state `Blocked(id)`), never in the OS, so the scheduler always
+/// knows exactly which threads can run and can detect deadlock.
+pub struct McMutex<T> {
+    id: u64,
+    held: AtomicBool,
+    data: parking_lot::Mutex<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for McMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("McMutex").field("id", &self.id).field("held", &self.held).finish()
+    }
+}
+
+/// RAII guard for [`McMutex`]. Dropping it releases the lock and wakes
+/// blocked threads *quietly* (no schedule point), so unlock during a
+/// kill unwind can never panic again.
+pub struct McMutexGuard<'a, T> {
+    mutex: &'a McMutex<T>,
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for McMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock until drop")
+    }
+}
+
+impl<T> DerefMut for McMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock until drop")
+    }
+}
+
+impl<T> Drop for McMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        self.mutex.held.store(false, Ordering::SeqCst);
+        wake_blocked_on(self.mutex.id);
+    }
+}
+
+impl<T: Send + fmt::Debug> MutexOps<T> for McMutex<T> {
+    type Guard<'a>
+        = McMutexGuard<'a, T>
+    where
+        Self: 'a,
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        McMutex {
+            id: NEXT_MUTEX_ID.fetch_add(1, Ordering::Relaxed),
+            held: AtomicBool::new(false),
+            data: parking_lot::Mutex::new(value),
+        }
+    }
+
+    fn lock(&self) -> Self::Guard<'_> {
+        schedule_point();
+        loop {
+            if self
+                .held
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+            block_current_on(self.id);
+            // Woken: the holder released. Retry — if several waiters
+            // were woken, whichever the scheduler runs first wins and
+            // the rest re-block, so arbitration is itself scheduled.
+        }
+        // Only one model thread runs at a time and the `held` flag
+        // serializes ownership, so the inner lock is uncontended.
+        McMutexGuard { mutex: self, inner: Some(self.data.lock()) }
+    }
+
+    fn try_lock(&self) -> Option<Self::Guard<'_>> {
+        schedule_point();
+        if self.held.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            Some(McMutexGuard { mutex: self, inner: Some(self.data.lock()) })
+        } else {
+            None
+        }
+    }
+}
+
+impl SyncFacade for McSync {
+    type AtomicU32 = McAtomicU32;
+    type AtomicU64 = McAtomicU64;
+    type AtomicBool = McAtomicBool;
+    type Mutex<T: Send + fmt::Debug> = McMutex<T>;
+
+    /// The Fig. 3 barrier is a schedule point too: crash-site sweeps
+    /// must be able to kill an updater *between* the fence and the
+    /// stores on either side of it.
+    fn fence(_order: Ordering) {
+        schedule_point();
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// Spin-retry iterations are *fair-yield* points: the spinner hands
+    /// the core to another runnable thread free of preemption charge.
+    /// Without this, a checker spinning on a version mismatch would
+    /// monopolize the schedule once the preemption budget is spent and
+    /// every mid-update interleaving would be misreported as a
+    /// livelock. (This mirrors how CHESS treats `sched_yield`.)
+    fn spin_hint() {
+        yield_hint();
+    }
+}

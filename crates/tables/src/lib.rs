@@ -42,11 +42,14 @@ mod error;
 mod id;
 pub mod quiescence;
 pub mod stm;
+pub mod sync;
 mod tables;
 pub mod wide;
 
 pub use error::{CfiViolation, CheckError, CheckStalled, ViolationKind};
 pub use id::{Ecn, Id, Version, ECN_LIMIT, VERSION_LIMIT};
+pub use sync::{StdSync, SyncFacade};
 pub use tables::{
-    IdTables, RetryConfig, SplitBump, TablesConfig, TaryView, TxCounters, UpdateStats,
+    IdTables, IdTablesAt, RetryConfig, SplitBump, TablesConfig, TaryView, TxCounters,
+    UpdateStats,
 };

@@ -17,12 +17,13 @@
 //! its reads with two sequence-lock loads; RWL and the CAS mutex pay a
 //! LOCK-prefixed read-modify-write on every check.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
 
 use crate::error::{CfiViolation, ViolationKind};
-use crate::tables::{IdTables, TablesConfig};
+use crate::sync::{
+    new_mutex, AtomicU32Ops, AtomicU64Ops, MutexOps, StdSync, SyncFacade,
+};
+use crate::tables::{IdTablesAt, TablesConfig};
 
 /// A synchronization strategy for checking indirect branches against a
 /// mutable table-resident CFG.
@@ -45,25 +46,29 @@ pub trait CheckStrategy: Send + Sync {
     );
 }
 
-/// MCFI's own single-word transactional tables.
+/// MCFI's own single-word transactional tables, generic over the
+/// [`SyncFacade`] (see [`crate::sync`]).
 #[derive(Debug)]
-pub struct McfiStrategy {
-    tables: IdTables,
+pub struct McfiStrategyAt<S: SyncFacade = StdSync> {
+    tables: IdTablesAt<S>,
 }
 
-impl McfiStrategy {
+/// The production MCFI strategy (see [`McfiStrategyAt`]).
+pub type McfiStrategy = McfiStrategyAt<StdSync>;
+
+impl<S: SyncFacade> McfiStrategyAt<S> {
     /// Creates MCFI tables of the given shape.
     pub fn new(config: TablesConfig) -> Self {
-        McfiStrategy { tables: IdTables::new(config) }
+        McfiStrategyAt { tables: IdTablesAt::new(config) }
     }
 
     /// Access to the underlying tables.
-    pub fn tables(&self) -> &IdTables {
+    pub fn tables(&self) -> &IdTablesAt<S> {
         &self.tables
     }
 }
 
-impl CheckStrategy for McfiStrategy {
+impl<S: SyncFacade> CheckStrategy for McfiStrategyAt<S> {
     fn name(&self) -> &'static str {
         "MCFI"
     }
@@ -89,7 +94,7 @@ impl CheckStrategy for McfiStrategy {
             }
             if branch as u16 != tgt as u16 {
                 // cmpw %di, %si; jne Try
-                std::hint::spin_loop();
+                S::spin_hint();
                 continue;
             }
             return Err(CfiViolation {
@@ -122,17 +127,19 @@ impl CheckStrategy for McfiStrategy {
 /// needed for synchronization lives *outside* the word, which is exactly
 /// what makes these designs slower.
 #[derive(Debug)]
-struct PlainTables {
-    tary: Vec<AtomicU32>,
-    bary: Vec<AtomicU32>,
+struct PlainTables<S: SyncFacade = StdSync> {
+    tary: Vec<S::AtomicU32>,
+    bary: Vec<S::AtomicU32>,
 }
 
-impl PlainTables {
+impl<S: SyncFacade> PlainTables<S> {
     fn new(config: TablesConfig) -> Self {
         let entries = config.code_size.div_ceil(4);
         PlainTables {
-            tary: (0..entries).map(|_| AtomicU32::new(0)).collect(),
-            bary: (0..config.bary_slots).map(|_| AtomicU32::new(0)).collect(),
+            tary: (0..entries).map(|_| <S::AtomicU32 as AtomicU32Ops>::new(0)).collect(),
+            bary: (0..config.bary_slots)
+                .map(|_| <S::AtomicU32 as AtomicU32Ops>::new(0))
+                .collect(),
         }
     }
 
@@ -192,24 +199,27 @@ fn classify(bary_slot: usize, target: u64, branch: u32, tgt: u32) -> Result<(), 
 /// sequence lock. Readers are invisible but must read the sequence word
 /// before *and* after their data reads — twice the loads of MCFI's scheme.
 #[derive(Debug)]
-pub struct TmlStrategy {
-    seq: AtomicU64,
-    writer: Mutex<()>,
-    tables: PlainTables,
+pub struct TmlStrategyAt<S: SyncFacade = StdSync> {
+    seq: S::AtomicU64,
+    writer: S::Mutex<()>,
+    tables: PlainTables<S>,
 }
 
-impl TmlStrategy {
+/// The production TML strategy (see [`TmlStrategyAt`]).
+pub type TmlStrategy = TmlStrategyAt<StdSync>;
+
+impl<S: SyncFacade> TmlStrategyAt<S> {
     /// Creates TML-guarded tables of the given shape.
     pub fn new(config: TablesConfig) -> Self {
-        TmlStrategy {
-            seq: AtomicU64::new(0),
-            writer: Mutex::new(()),
+        TmlStrategyAt {
+            seq: <S::AtomicU64 as AtomicU64Ops>::new(0),
+            writer: new_mutex::<S, ()>(()),
             tables: PlainTables::new(config),
         }
     }
 }
 
-impl CheckStrategy for TmlStrategy {
+impl<S: SyncFacade> CheckStrategy for TmlStrategyAt<S> {
     fn name(&self) -> &'static str {
         "TML"
     }
@@ -218,7 +228,7 @@ impl CheckStrategy for TmlStrategy {
         loop {
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 % 2 == 1 {
-                std::hint::spin_loop();
+                S::spin_hint();
                 continue; // a writer is active
             }
             let (branch, tgt) = self.tables.read_pair(bary_slot, target);
@@ -226,7 +236,7 @@ impl CheckStrategy for TmlStrategy {
             if s1 == s2 {
                 return classify(bary_slot, target, branch, tgt);
             }
-            std::hint::spin_loop();
+            S::spin_hint();
         }
     }
 
@@ -246,22 +256,28 @@ impl CheckStrategy for TmlStrategy {
 /// (the paper's RWL baseline, reference 2): every check performs a LOCK-prefixed
 /// read-modify-write to enter and leave the read side.
 #[derive(Debug)]
-pub struct RwlStrategy {
+pub struct RwlStrategyAt<S: SyncFacade = StdSync> {
     /// Bit 31 = writer active; low bits = reader count.
-    state: AtomicU32,
-    tables: PlainTables,
+    state: S::AtomicU32,
+    tables: PlainTables<S>,
 }
+
+/// The production RWL strategy (see [`RwlStrategyAt`]).
+pub type RwlStrategy = RwlStrategyAt<StdSync>;
 
 const WRITER_BIT: u32 = 1 << 31;
 
-impl RwlStrategy {
+impl<S: SyncFacade> RwlStrategyAt<S> {
     /// Creates RW-lock-guarded tables of the given shape.
     pub fn new(config: TablesConfig) -> Self {
-        RwlStrategy { state: AtomicU32::new(0), tables: PlainTables::new(config) }
+        RwlStrategyAt {
+            state: <S::AtomicU32 as AtomicU32Ops>::new(0),
+            tables: PlainTables::new(config),
+        }
     }
 }
 
-impl CheckStrategy for RwlStrategy {
+impl<S: SyncFacade> CheckStrategy for RwlStrategyAt<S> {
     fn name(&self) -> &'static str {
         "RWL"
     }
@@ -275,7 +291,7 @@ impl CheckStrategy for RwlStrategy {
             }
             self.state.fetch_sub(1, Ordering::AcqRel);
             while self.state.load(Ordering::Relaxed) & WRITER_BIT != 0 {
-                std::hint::spin_loop();
+                S::spin_hint();
             }
         }
         let (branch, tgt) = self.tables.read_pair(bary_slot, target);
@@ -294,10 +310,10 @@ impl CheckStrategy for RwlStrategy {
             if prev & WRITER_BIT == 0 {
                 break;
             }
-            std::hint::spin_loop();
+            S::spin_hint();
         }
         while self.state.load(Ordering::Acquire) & !WRITER_BIT != 0 {
-            std::hint::spin_loop();
+            S::spin_hint();
         }
         self.tables.write_all(tary_ecn, bary_ecn);
         self.state.fetch_and(!WRITER_BIT, Ordering::AcqRel);
@@ -307,15 +323,21 @@ impl CheckStrategy for RwlStrategy {
 /// A mutual-exclusion lock implemented with atomic compare-and-swap: every
 /// check transaction acquires and releases the lock.
 #[derive(Debug)]
-pub struct MutexStrategy {
-    locked: AtomicU32,
-    tables: PlainTables,
+pub struct MutexStrategyAt<S: SyncFacade = StdSync> {
+    locked: S::AtomicU32,
+    tables: PlainTables<S>,
 }
 
-impl MutexStrategy {
+/// The production CAS-mutex strategy (see [`MutexStrategyAt`]).
+pub type MutexStrategy = MutexStrategyAt<StdSync>;
+
+impl<S: SyncFacade> MutexStrategyAt<S> {
     /// Creates mutex-guarded tables of the given shape.
     pub fn new(config: TablesConfig) -> Self {
-        MutexStrategy { locked: AtomicU32::new(0), tables: PlainTables::new(config) }
+        MutexStrategyAt {
+            locked: <S::AtomicU32 as AtomicU32Ops>::new(0),
+            tables: PlainTables::new(config),
+        }
     }
 
     fn lock(&self) {
@@ -324,7 +346,7 @@ impl MutexStrategy {
             .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
-            std::hint::spin_loop();
+            S::spin_hint();
         }
     }
 
@@ -333,7 +355,7 @@ impl MutexStrategy {
     }
 }
 
-impl CheckStrategy for MutexStrategy {
+impl<S: SyncFacade> CheckStrategy for MutexStrategyAt<S> {
     fn name(&self) -> &'static str {
         "Mutex"
     }
@@ -369,6 +391,7 @@ pub fn all_strategies(config: TablesConfig) -> Vec<Box<dyn CheckStrategy>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
     use std::sync::Arc;
 
     fn simple_policy() -> (

@@ -1,6 +1,6 @@
 //! The Bary/Tary ID tables and the two table transactions (paper §5).
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mcfi_chaos::{ChaosInjector, FaultPoint};
@@ -8,6 +8,9 @@ use parking_lot::Mutex;
 
 use crate::error::{CfiViolation, CheckError, CheckStalled, ViolationKind};
 use crate::id::{Ecn, Id, Version, VERSION_LIMIT};
+use crate::sync::{
+    new_mutex, AtomicBoolOps, AtomicU32Ops, LockGuard, MutexOps, StdSync, SyncFacade,
+};
 
 /// Sizing for a pair of ID tables.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -70,21 +73,36 @@ pub struct TxCounters {
     pub repairs: u64,
 }
 
-/// The MCFI runtime ID tables.
+/// The MCFI runtime ID tables, generic over the [`SyncFacade`] whose
+/// primitives carry the table protocol.
+///
+/// Production code uses the [`IdTables`] alias (`S = `[`StdSync`]),
+/// which monomorphizes to exactly the pre-facade code. The
+/// `mcfi-modelcheck` crate instantiates the same protocol over shadow
+/// primitives whose every access is a schedule point.
 ///
 /// Shared between executing threads (which run check transactions) and the
 /// dynamic linker (which runs update transactions); all methods take
 /// `&self` and the type is `Sync`.
 #[derive(Debug)]
-pub struct IdTables {
-    tary: Vec<AtomicU32>,
-    bary: Vec<AtomicU32>,
+pub struct IdTablesAt<S: SyncFacade = StdSync> {
+    tary: Vec<S::AtomicU32>,
+    bary: Vec<S::AtomicU32>,
     /// Global version, bumped (mod 2^14) by every update transaction.
-    version: AtomicU32,
+    version: S::AtomicU32,
     /// Serializes update transactions (they are rare; concurrency among
     /// updates buys nothing — paper §5.2).
-    update_lock: Mutex<()>,
+    update_lock: S::Mutex<()>,
+    /// Set when an update transaction was abandoned between its phases
+    /// (updater crash / poisoned `SplitBump`); cleared by repair.
+    abandoned: S::AtomicBool,
     /// Count of updates since the last quiescent reset, for ABA detection.
+    ///
+    /// This and the three counters below are instrumentation, not
+    /// protocol state — no check or update *decision* reads them — so
+    /// they stay on plain `std` atomics and are not schedule points
+    /// under the model checker (which would otherwise multiply the
+    /// explored state space for no protocol coverage).
     update_count: AtomicU64,
     /// Count of check-transaction retries, for instrumentation/benchmarks.
     retries: AtomicU64,
@@ -92,9 +110,6 @@ pub struct IdTables {
     escalations: AtomicU64,
     /// Count of abandoned transactions repaired by a checker.
     repairs: AtomicU64,
-    /// Set when an update transaction was abandoned between its phases
-    /// (updater crash / poisoned `SplitBump`); cleared by repair.
-    abandoned: AtomicBool,
     /// Fast disarmed-path gate for fault injection: a single relaxed load
     /// on the *update* paths (check fast paths are never instrumented).
     chaos_armed: AtomicBool,
@@ -102,21 +117,26 @@ pub struct IdTables {
     chaos: Mutex<Option<Arc<ChaosInjector>>>,
 }
 
-impl IdTables {
+/// The production MCFI runtime ID tables (see [`IdTablesAt`]).
+pub type IdTables = IdTablesAt<StdSync>;
+
+impl<S: SyncFacade> IdTablesAt<S> {
     /// Allocates zeroed tables: initially *no* address is a legal
     /// indirect-branch target, matching a freshly reserved table region.
     pub fn new(config: TablesConfig) -> Self {
         let entries = config.code_size.div_ceil(4);
-        IdTables {
-            tary: (0..entries).map(|_| AtomicU32::new(0)).collect(),
-            bary: (0..config.bary_slots).map(|_| AtomicU32::new(0)).collect(),
-            version: AtomicU32::new(0),
-            update_lock: Mutex::new(()),
+        IdTablesAt {
+            tary: (0..entries).map(|_| <S::AtomicU32 as AtomicU32Ops>::new(0)).collect(),
+            bary: (0..config.bary_slots)
+                .map(|_| <S::AtomicU32 as AtomicU32Ops>::new(0))
+                .collect(),
+            version: <S::AtomicU32 as AtomicU32Ops>::new(0),
+            update_lock: new_mutex::<S, ()>(()),
+            abandoned: <S::AtomicBool as AtomicBoolOps>::new(false),
             update_count: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
-            abandoned: AtomicBool::new(false),
             chaos_armed: AtomicBool::new(false),
             chaos: Mutex::new(None),
         }
@@ -248,7 +268,7 @@ impl IdTables {
             if branch_id.version() != target_id.version() {
                 // Case 3: an update transaction is in flight; retry.
                 self.retries.fetch_add(1, Ordering::Relaxed);
-                std::hint::spin_loop();
+                S::spin_hint();
                 continue;
             }
             // Case 4: same version, different equivalence class.
@@ -315,7 +335,7 @@ impl IdTables {
                 // Lock held: a (possibly stalled) updater is in flight.
             }
             for _ in 0..(1u64 << retries.min(10)) {
-                std::hint::spin_loop();
+                S::spin_hint();
             }
         }
     }
@@ -342,7 +362,7 @@ impl IdTables {
     }
 
     /// The repair pass proper; requires the update lock.
-    fn repair_locked(&self, _guard: &parking_lot::MutexGuard<'_, ()>) -> bool {
+    fn repair_locked(&self, _guard: &LockGuard<'_, S, ()>) -> bool {
         let version = Version::new(self.version.load(Ordering::Acquire) % VERSION_LIMIT);
         let mut repaired = false;
         // Phase 1: finish the Tary side (a torn stream leaves stale
@@ -356,7 +376,7 @@ impl IdTables {
                 }
             }
         }
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
         // Phase 2: finish the Bary side.
         for slot in &self.bary {
             let word = slot.load(Ordering::Relaxed);
@@ -483,12 +503,12 @@ impl IdTables {
 
         // The memory write barrier separating the two phases (Fig. 3 line
         // 5): all Tary writes become visible before any Bary write.
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
 
         // GOT adjustments and similar linker work, serialized by another
         // write barrier (§5.2).
         between();
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
 
         // An injected `updater-stall` wedges the updater here — lock
         // held, tables version-skewed — for `param` microseconds.
@@ -573,7 +593,7 @@ impl IdTables {
                 std::thread::sleep(pause);
             }
         }
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
         if self.chaos_fire(FaultPoint::UpdaterCrash).is_some() {
             // The updater dies between the phases: Tary wholly new,
             // Bary wholly old. The lock is released when the guard drops,
@@ -632,7 +652,7 @@ impl IdTables {
                 slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
             }
         }
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
         for slot in &self.bary {
             if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
                 slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
@@ -648,7 +668,7 @@ impl IdTables {
     ///
     /// The update lock is held by the returned guard, exactly as the real
     /// update transaction holds it across both phases.
-    pub fn bump_version_split(&self) -> SplitBump<'_> {
+    pub fn bump_version_split(&self) -> SplitBump<'_, S> {
         let guard = self.update_lock.lock();
         self.chaos_warp_version();
         let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
@@ -660,7 +680,7 @@ impl IdTables {
                 slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
             }
         }
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
         SplitBump { tables: self, version, finished: false, _guard: guard }
     }
 
@@ -706,8 +726,91 @@ impl IdTables {
     }
 
     /// A read-only snapshot view of the Tary table for diagnostics.
-    pub fn tary_view(&self) -> TaryView<'_> {
+    pub fn tary_view(&self) -> TaryView<'_, S> {
         TaryView { tables: self }
+    }
+
+    /// **Deliberately buggy** version re-stamp that runs the **Bary phase
+    /// first** — the phase-order inversion the Fig. 3 barrier exists to
+    /// prevent. Test seam for the model checker's seeded-bug acceptance
+    /// test (the phase-invariant oracle must catch it with a replayable
+    /// trace); nothing else may call it.
+    #[doc(hidden)]
+    pub fn bump_version_bary_first_for_tests(&self) -> UpdateStats {
+        let _guard = self.update_lock.lock();
+        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
+        self.version.store(next, Ordering::Release);
+        let version = Version::new(next);
+        let mut bary_branches = 0;
+        for slot in &self.bary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                bary_branches += 1;
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
+            }
+        }
+        S::fence(Ordering::SeqCst);
+        let mut tary_targets = 0;
+        for slot in &self.tary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                tary_targets += 1;
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+            }
+        }
+        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        UpdateStats {
+            version: next,
+            tary_targets,
+            bary_branches,
+            updates_since_reset: updates,
+            completed: true,
+        }
+    }
+
+    /// **Deliberately buggy** CFG-changing update that **skips the version
+    /// bump**: new ECNs are stamped with the *current* version, so a
+    /// concurrent check can pair an old-CFG branch ID with a new-CFG
+    /// target ID and validate an edge neither CFG allows. Test seam for
+    /// the model checker's linearizability oracle; nothing else may call
+    /// it.
+    #[doc(hidden)]
+    pub fn update_unversioned_for_tests(
+        &self,
+        tary_ecn: impl Fn(u64) -> Option<u32>,
+        bary_ecn: impl Fn(usize) -> Option<u32>,
+    ) -> UpdateStats {
+        let _guard = self.update_lock.lock();
+        let version = Version::new(self.version.load(Ordering::Relaxed) % VERSION_LIMIT);
+        let mut tary_targets = 0;
+        for (i, slot) in self.tary.iter().enumerate() {
+            let word = match tary_ecn((i as u64) * 4) {
+                Some(ecn) => {
+                    tary_targets += 1;
+                    Id::encode(Ecn::new(ecn), version).word()
+                }
+                None => 0,
+            };
+            slot.store(word, Ordering::Relaxed);
+        }
+        S::fence(Ordering::SeqCst);
+        let mut bary_branches = 0;
+        for (slot_idx, slot) in self.bary.iter().enumerate() {
+            let word = match bary_ecn(slot_idx) {
+                Some(ecn) => {
+                    bary_branches += 1;
+                    Id::encode(Ecn::new(ecn), version).word()
+                }
+                None => 0,
+            };
+            slot.store(word, Ordering::Release);
+        }
+        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        UpdateStats {
+            version: version.raw(),
+            tary_targets,
+            bary_branches,
+            updates_since_reset: updates,
+            completed: true,
+        }
     }
 }
 
@@ -715,20 +818,20 @@ impl IdTables {
 /// phases (see [`IdTables::bump_version_split`]). While this exists,
 /// concurrent check transactions observe version skew and retry — the
 /// deterministic harness for the paper's Fig. 6 experiment.
-pub struct SplitBump<'a> {
-    tables: &'a IdTables,
+pub struct SplitBump<'a, S: SyncFacade = StdSync> {
+    tables: &'a IdTablesAt<S>,
     version: Version,
     finished: bool,
-    _guard: parking_lot::MutexGuard<'a, ()>,
+    _guard: LockGuard<'a, S, ()>,
 }
 
-impl std::fmt::Debug for SplitBump<'_> {
+impl<S: SyncFacade> std::fmt::Debug for SplitBump<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SplitBump({})", self.version)
     }
 }
 
-impl SplitBump<'_> {
+impl<S: SyncFacade> SplitBump<'_, S> {
     /// Runs the Bary phase, committing the new version.
     pub fn finish(mut self) {
         for slot in &self.tables.bary {
@@ -742,7 +845,7 @@ impl SplitBump<'_> {
     }
 }
 
-impl Drop for SplitBump<'_> {
+impl<S: SyncFacade> Drop for SplitBump<'_, S> {
     /// Dropping an unfinished split bump models an updater crash between
     /// the phases: the tables are flagged abandoned (every target ID
     /// carries the new version, every branch ID the old one) so checkers
@@ -759,11 +862,11 @@ impl Drop for SplitBump<'_> {
 
 /// Read-only diagnostic view over the Tary table.
 #[derive(Debug)]
-pub struct TaryView<'a> {
-    tables: &'a IdTables,
+pub struct TaryView<'a, S: SyncFacade = StdSync> {
+    tables: &'a IdTablesAt<S>,
 }
 
-impl TaryView<'_> {
+impl<S: SyncFacade> TaryView<'_, S> {
     /// The decoded ID for 4-byte-aligned code address `addr`, if any.
     pub fn id_at(&self, addr: u64) -> Option<Id> {
         if !addr.is_multiple_of(4) {
@@ -785,6 +888,7 @@ impl TaryView<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
     use std::sync::Arc;
 
     fn demo_tables() -> IdTables {

@@ -13,11 +13,10 @@
 //! entry per 8-byte-aligned code address, so targets must be 8-aligned) —
 //! the space/assurance trade-off the paper leaves to the implementer.
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
 
 use crate::error::{CfiViolation, ViolationKind};
+use crate::sync::{new_mutex, AtomicU64Ops, MutexOps, StdSync, SyncFacade};
 use crate::Ecn;
 
 /// Maximum ECNs under the wide encoding (`2^28`).
@@ -86,24 +85,30 @@ impl WideId {
     }
 }
 
-/// ID tables with 8-byte entries (one per 8-byte-aligned code address).
+/// ID tables with 8-byte entries (one per 8-byte-aligned code address),
+/// generic over the [`SyncFacade`] like [`crate::IdTablesAt`].
 #[derive(Debug)]
-pub struct WideIdTables {
-    tary: Vec<AtomicU64>,
-    bary: Vec<AtomicU64>,
-    version: AtomicU64,
-    update_lock: Mutex<()>,
+pub struct WideIdTablesAt<S: SyncFacade = StdSync> {
+    tary: Vec<S::AtomicU64>,
+    bary: Vec<S::AtomicU64>,
+    version: S::AtomicU64,
+    update_lock: S::Mutex<()>,
 }
 
-impl WideIdTables {
+/// The production wide ID tables (see [`WideIdTablesAt`]).
+pub type WideIdTables = WideIdTablesAt<StdSync>;
+
+impl<S: SyncFacade> WideIdTablesAt<S> {
     /// Allocates zeroed wide tables covering `code_size` bytes of code and
     /// `bary_slots` indirect branches.
     pub fn new(code_size: usize, bary_slots: usize) -> Self {
-        WideIdTables {
-            tary: (0..code_size.div_ceil(8)).map(|_| AtomicU64::new(0)).collect(),
-            bary: (0..bary_slots).map(|_| AtomicU64::new(0)).collect(),
-            version: AtomicU64::new(0),
-            update_lock: Mutex::new(()),
+        WideIdTablesAt {
+            tary: (0..code_size.div_ceil(8))
+                .map(|_| <S::AtomicU64 as AtomicU64Ops>::new(0))
+                .collect(),
+            bary: (0..bary_slots).map(|_| <S::AtomicU64 as AtomicU64Ops>::new(0)).collect(),
+            version: <S::AtomicU64 as AtomicU64Ops>::new(0),
+            update_lock: new_mutex::<S, ()>(()),
         }
     }
 
@@ -131,7 +136,7 @@ impl WideIdTables {
             };
             let bid = WideId::from_word(branch).expect("bary slots hold valid wide ids");
             if bid.version() != tid.version() {
-                std::hint::spin_loop();
+                S::spin_hint();
                 continue;
             }
             return Err(CfiViolation {
@@ -158,7 +163,7 @@ impl WideIdTables {
             let word = tary_ecn((i as u64) * 8).map_or(0, |e| WideId::encode(e, next).word());
             slot.store(word, Ordering::Relaxed);
         }
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
         for (i, slot) in self.bary.iter().enumerate() {
             let word = bary_ecn(i).map_or(0, |e| WideId::encode(e, next).word());
             slot.store(word, Ordering::Release);
@@ -189,7 +194,7 @@ impl WideIdTables {
                 slot.store(WideId::encode(id.ecn(), forced).word(), Ordering::Relaxed);
             }
         }
-        fence(Ordering::SeqCst);
+        S::fence(Ordering::SeqCst);
         for slot in &self.bary {
             if let Some(id) = WideId::from_word(slot.load(Ordering::Relaxed)) {
                 slot.store(WideId::encode(id.ecn(), forced).word(), Ordering::Release);

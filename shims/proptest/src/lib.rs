@@ -7,12 +7,18 @@
 //! xorshift64* stream seeded from the test name, so failures reproduce
 //! run-to-run; there is no shrinking — a failing case reports its index and
 //! message and panics.
+//!
+//! Like the real crate, the runner honors `<source>.proptest-regressions`
+//! files: persisted `cc <hex>` seeds are replayed *before* any fresh
+//! cases, and a fresh failure prints the `cc` line to persist (see the
+//! [`regression`] module for the format this shim reads and writes).
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::path::Path;
 
 /// Why a single test case did not pass.
 #[derive(Debug)]
@@ -295,20 +301,122 @@ impl Strategy for &str {
 // Runner
 // ---------------------------------------------------------------------------
 
-/// Runs `config.cases` generated cases of `f`; panics on the first failure.
+/// Persisted-regression support: the `cc <hex>` seed files the real
+/// proptest writes next to a test source (`foo.rs` →
+/// `foo.proptest-regressions`).
+///
+/// The shim treats the first 16 hex digits of a `cc` hash as an RNG
+/// seed: replaying a seed regenerates the input that failed under this
+/// shim, and seeds persisted by the real crate still replay as
+/// deterministic (if not bit-identical) extra cases. Lines starting
+/// with `#` and blank lines are ignored, matching the upstream format.
+pub mod regression {
+    use std::path::{Path, PathBuf};
+
+    /// Parses the seeds out of a regressions file's contents.
+    pub fn seeds_from_str(contents: &str) -> Vec<u64> {
+        contents
+            .lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let hex: String = rest.chars().take_while(char::is_ascii_hexdigit).collect();
+                u64::from_str_radix(hex.get(..16).unwrap_or(&hex), 16).ok()
+            })
+            .collect()
+    }
+
+    /// The `cc` line to persist for a failing seed — 64 hex digits like
+    /// upstream, with the seed in the leading 16.
+    pub fn cc_line(seed: u64) -> String {
+        format!("cc {seed:016x}{:048}", 0)
+    }
+
+    /// Locates `<source_file>.proptest-regressions`. `source_file` is a
+    /// `file!()` path, which rustc renders relative to the *workspace*
+    /// root while the test binary runs from the *package* root — so the
+    /// lookup walks up from the current directory until the relative
+    /// path resolves (mirrors how cargo itself finds workspace files).
+    pub fn locate(source_file: &str) -> Option<PathBuf> {
+        let rel = Path::new(source_file).with_extension("proptest-regressions");
+        if rel.is_absolute() {
+            return rel.exists().then_some(rel);
+        }
+        let mut dir = std::env::current_dir().ok()?;
+        loop {
+            let candidate = dir.join(&rel);
+            if candidate.exists() {
+                return Some(candidate);
+            }
+            if !dir.pop() {
+                return None;
+            }
+        }
+    }
+
+    /// Loads the persisted seeds for a test source file, if any.
+    pub fn persisted_seeds(source_file: &str) -> Vec<u64> {
+        if source_file.is_empty() {
+            return Vec::new();
+        }
+        locate(source_file)
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|s| seeds_from_str(&s))
+            .unwrap_or_default()
+    }
+}
+
+/// Runs `config.cases` generated cases of `f`, after first replaying any
+/// seeds persisted in `<source_file>.proptest-regressions`; panics on
+/// the first failure. A fresh failure reports the `cc` line to persist.
 ///
 /// Used by the `proptest!` macro; not intended to be called directly.
-pub fn run_cases<S, F>(config: ProptestConfig, strategy: S, mut f: F, name: &str)
+pub fn run_cases_persisted<S, F>(
+    config: ProptestConfig,
+    strategy: S,
+    mut f: F,
+    name: &str,
+    source_file: &str,
+) where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    for seed in regression::persisted_seeds(source_file) {
+        let mut rng = TestRng::new(seed);
+        if let Err(e) = f(strategy.generate(&mut rng)) {
+            panic!(
+                "property `{name}` failed on persisted regression `{}`: {e}",
+                regression::cc_line(seed)
+            );
+        }
+    }
+    let mut rng = TestRng::new(fnv_seed(name));
+    for case in 0..config.cases {
+        // Snapshot the stream position so this exact case can be
+        // replayed standalone from a persisted `cc` seed.
+        let case_seed = rng.state;
+        if let Err(e) = f(strategy.generate(&mut rng)) {
+            panic!(
+                "property `{name}` failed at case {case}/{}: {e}\n\
+                 to persist this case, add to {}:\n{}",
+                config.cases,
+                Path::new(source_file)
+                    .with_extension("proptest-regressions")
+                    .display(),
+                regression::cc_line(case_seed),
+            );
+        }
+    }
+}
+
+/// Runs `config.cases` generated cases of `f` with no regression file;
+/// panics on the first failure. Kept for direct callers — the
+/// `proptest!` macro uses [`run_cases_persisted`].
+pub fn run_cases<S, F>(config: ProptestConfig, strategy: S, f: F, name: &str)
 where
     S: Strategy,
     F: FnMut(S::Value) -> Result<(), TestCaseError>,
 {
-    let mut rng = TestRng::new(fnv_seed(name));
-    for case in 0..config.cases {
-        if let Err(e) = f(strategy.generate(&mut rng)) {
-            panic!("property `{name}` failed at case {case}/{}: {e}", config.cases);
-        }
-    }
+    run_cases_persisted(config, strategy, f, name, "");
 }
 
 /// Declares property tests: `fn name(arg in strategy, ...) { body }` items,
@@ -334,7 +442,7 @@ macro_rules! __proptest_impl {
     ) => {
         $(#[$meta])*
         fn $name() {
-            $crate::run_cases(
+            $crate::run_cases_persisted(
                 $cfg,
                 ($($strat,)+),
                 |($($arg,)+)| {
@@ -342,6 +450,7 @@ macro_rules! __proptest_impl {
                     ::core::result::Result::Ok(())
                 },
                 stringify!($name),
+                file!(),
             );
         }
         $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }

@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mcfi::{BuildOptions, Outcome, System};
+use mcfi::{BuildOptions, ChaosInjector, FaultPlan, FaultPoint, Outcome, System};
 use mcfi_tables::quiescence::QuiescenceTracker;
 use mcfi_tables::{IdTables, TablesConfig};
 
@@ -246,4 +246,105 @@ fn split_bump_blocks_checks_until_finish() {
     assert!(checker.join().expect("joins").is_ok());
     // And wrong edges still fail afterwards.
     assert!(tables.check(0, 12).is_err());
+}
+
+/// The resilience counters are cumulative event counts: sampled while
+/// checkers race a paced updater, every component must be monotonically
+/// non-decreasing, and the final snapshot must dominate every sample.
+#[test]
+fn tx_counters_are_monotonic_under_contention() {
+    let tables = Arc::new(IdTables::new(TablesConfig { code_size: 4096, bary_slots: 64 }));
+    let assign = |a: u64| a.is_multiple_of(16).then_some((a / 16 % 64) as u32);
+    tables.update(assign, |s| Some((s % 64) as u32));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let checkers: Vec<_> = (0..2)
+        .map(|_| {
+            let t = Arc::clone(&tables);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut addr = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    t.check((addr / 16 % 64) as usize, addr).expect("legal in every version");
+                    addr = (addr + 16) % 4096;
+                }
+            })
+        })
+        .collect();
+
+    let mut samples = Vec::new();
+    for _ in 0..200 {
+        tables.bump_version_paced(64, std::time::Duration::from_micros(20));
+        samples.push(tables.tx_counters());
+    }
+    stop.store(true, Ordering::Relaxed);
+    for c in checkers {
+        c.join().expect("checker joins");
+    }
+
+    for w in samples.windows(2) {
+        assert!(w[1].retries >= w[0].retries, "retries regressed: {:?} -> {:?}", w[0], w[1]);
+        assert!(
+            w[1].escalations >= w[0].escalations,
+            "escalations regressed: {:?} -> {:?}",
+            w[0],
+            w[1]
+        );
+        assert!(w[1].repairs >= w[0].repairs, "repairs regressed: {:?} -> {:?}", w[0], w[1]);
+    }
+    let last = *samples.last().expect("sampled");
+    let fin = tables.tx_counters();
+    assert!(fin.retries >= last.retries && fin.repairs >= last.repairs);
+    // The snapshot and the individual accessors agree.
+    assert_eq!(fin.retries, tables.retry_count());
+    assert_eq!(fin.escalations, tables.escalation_count());
+    assert_eq!(fin.repairs, tables.repair_count());
+}
+
+/// Repairing an abandoned re-stamp is idempotent: the first pass
+/// finishes the transaction, the second finds nothing to do — no new
+/// version, no counter movement, no word rewritten.
+#[test]
+fn repair_abandoned_is_idempotent() {
+    let tables = IdTables::new(TablesConfig { code_size: 64, bary_slots: 2 });
+    tables.update(
+        |a| match a {
+            8 => Some(1),
+            16 => Some(2),
+            _ => None,
+        },
+        |s| Some([1, 2][s]),
+    );
+
+    // Crash the re-stamp between its Tary and Bary phases.
+    tables.arm_chaos(ChaosInjector::arm(
+        FaultPlan::new().with(FaultPoint::UpdaterCrash, 1, 0),
+    ));
+    let crashed = tables.bump_version();
+    assert!(!crashed.completed, "the planned crash aborts the re-stamp");
+    assert!(tables.has_abandoned());
+    tables.disarm_chaos();
+
+    assert!(tables.repair_abandoned(), "first pass completes the Bary phase");
+    assert!(!tables.has_abandoned());
+    let version = tables.current_version();
+    let counters = tables.tx_counters();
+    let words: Vec<(u32, u32, u32)> =
+        vec![(tables.tary_word(8), tables.tary_word(16), tables.bary_word(0))];
+
+    // Second (and third) pass: nothing left to repair, nothing perturbed.
+    assert!(!tables.repair_abandoned(), "second pass must be a no-op");
+    assert!(!tables.repair_abandoned(), "so must every later one");
+    assert_eq!(tables.current_version(), version);
+    assert_eq!(tables.tx_counters(), counters);
+    assert_eq!(
+        words,
+        vec![(tables.tary_word(8), tables.tary_word(16), tables.bary_word(0))],
+        "repair must not rewrite settled words"
+    );
+
+    // The repaired tables enforce the CFG exactly.
+    tables.check(0, 8).expect("legal edge");
+    tables.check(1, 16).expect("legal edge");
+    assert!(tables.check(0, 16).is_err(), "forbidden edge");
 }

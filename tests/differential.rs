@@ -1,0 +1,144 @@
+//! Differential predecode tests: every synthetic SPEC-like workload
+//! runs twice — predecode cache on and predecode cache off — with the
+//! *same* randomized fault plan armed and the scripted updater opening
+//! mixed-version windows mid-run. The cache is a pure fetch
+//! memoization, so the two runs must be observationally identical down
+//! to the audit log and the exact sequence of faults that fired.
+//!
+//! Seeds 1–3 are fixed (the ISSUE's contract); `MCFI_CHAOS_SEED` shifts
+//! the whole matrix for CI soak runs.
+
+use mcfi::{BuildOptions, FaultPlan, Outcome, ProcessOptions, RunResult, System, ViolationPolicy};
+use mcfi_workloads::{source, Variant, BENCHMARKS};
+
+/// Matrix shift for CI: seed k becomes `base + k`.
+fn seed_base() -> u64 {
+    std::env::var("MCFI_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+/// Scripted-updater cadence: frequent enough that every benchmark's
+/// check transactions race several update windows.
+const UPDATE_INTERVAL: u64 = 25_000;
+const UPDATE_WINDOW: u64 = 1_000;
+
+/// Generous for every workload (the largest, hmmer/libquantum, takes
+/// ~8M steps with the updater interleaved), small enough that a
+/// chaos-stalled run (abandoned update, guest spinning in check
+/// retries) still ends promptly.
+const STEP_BUDGET: u64 = 12_000_000;
+
+/// One instrumented run: boot, arm the plan, run with scripted updates,
+/// return the report plus the two chaos-visible logs.
+fn observe(src: &str, predecode: bool, plan: FaultPlan) -> (RunResult, Vec<String>, Vec<String>) {
+    let proc_opts = ProcessOptions {
+        predecode,
+        max_steps: STEP_BUDGET,
+        violation_policy: ViolationPolicy::Audit,
+        ..Default::default()
+    };
+    let mut sys =
+        System::boot_source_with(src, &BuildOptions::default(), proc_opts).expect("boots");
+    let injector = sys.process().arm_chaos(plan);
+    let r = sys
+        .process()
+        .run_with_updates("__start", UPDATE_INTERVAL, UPDATE_WINDOW)
+        .expect("runs");
+    let fired = injector.fired().iter().map(|f| format!("{f:?}")).collect();
+    let log = sys.process().violation_log();
+    let mut records: Vec<String> = log.records().iter().map(|v| format!("{v:?}")).collect();
+    records.push(format!("dropped={}", log.dropped()));
+    records.push(format!("total={}", log.total()));
+    (r, records, fired)
+}
+
+/// The equality contract. Everything the guest, the auditor, or the
+/// chaos harness can observe must match; only the cache counters may
+/// (and must) differ.
+fn assert_differential(what: &str, src: &str, seed: u64) {
+    let plan = FaultPlan::random(seed, 4);
+    let (on, log_on, fired_on) = observe(src, true, plan.clone());
+    let (off, log_off, fired_off) = observe(src, false, plan);
+
+    assert_eq!(on.outcome, off.outcome, "{what}: outcome");
+    assert_eq!(on.stdout, off.stdout, "{what}: stdout");
+    assert_eq!(on.steps, off.steps, "{what}: steps");
+    assert_eq!(on.cycles, off.cycles, "{what}: cycles");
+    assert_eq!(on.checks, off.checks, "{what}: checks");
+    assert_eq!(on.indirect_taken, off.indirect_taken, "{what}: indirect branches");
+    assert_eq!(on.updates, off.updates, "{what}: updates");
+    assert_eq!(on.check_retries, off.check_retries, "{what}: guest check retries");
+    assert_eq!(on.audited_violations, off.audited_violations, "{what}: audited violations");
+    assert_eq!(log_on, log_off, "{what}: violation log");
+    assert_eq!(fired_on, fired_off, "{what}: fired faults");
+
+    assert_eq!(off.icache_hits, 0, "{what}: uncached run must not touch the cache");
+    assert!(on.icache_hits > 0, "{what}: cached run must actually hit");
+}
+
+/// The full matrix: all twelve workloads under seeds 1–3 each. The
+/// workloads are the `Fixed` variant (clean under MCFI), so the audit
+/// logs stay empty unless a fault corrupts a table — which is exactly
+/// what the chaos plan arranges and what both runs must agree on.
+#[test]
+fn workloads_are_predecode_invariant_under_chaos() {
+    for bench in BENCHMARKS {
+        let src = source(bench, Variant::Fixed);
+        for k in 1..=3u64 {
+            assert_differential(
+                &format!("{bench} seed {k}"),
+                &src,
+                seed_base() + k,
+            );
+        }
+    }
+}
+
+/// A program whose every loop iteration commits a CFI violation (a
+/// call through a pointer bound to an incompatibly-typed function):
+/// under the audit policy its logs are non-empty, so this case proves
+/// the record-for-record comparison above is not vacuous.
+#[test]
+fn violating_program_audit_logs_are_predecode_invariant() {
+    let src = "float g(float x) { return x; }\n\
+         int main(void) {\n\
+           void* raw = (void*)&g;\n\
+           int (*f)(int) = (int(*)(int))raw;\n\
+           int acc = 0; int i = 0;\n\
+           while (i < 60) { acc = acc + f(i); i = i + 1; }\n\
+           return 7;\n\
+         }";
+    for k in 1..=3u64 {
+        let seed = seed_base() + k;
+        let plan = FaultPlan::random(seed, 4);
+        let (on, log_on, fired_on) = observe(src, true, plan.clone());
+        let (off, log_off, fired_off) = observe(src, false, plan);
+        assert_eq!(on.outcome, off.outcome, "seed {seed}: outcome");
+        assert_eq!(on.audited_violations, off.audited_violations, "seed {seed}");
+        assert!(on.audited_violations >= 60, "seed {seed}: every hijacked call audited");
+        assert_eq!(log_on, log_off, "seed {seed}: violation log");
+        assert_eq!(fired_on, fired_off, "seed {seed}: fired faults");
+    }
+}
+
+/// Unfaulted sanity anchor: with no chaos armed the matrix members
+/// finish normally, so the differential matrix above is not merely
+/// comparing two identically-stalled runs.
+#[test]
+fn unfaulted_workloads_exit_within_the_differential_budget() {
+    for bench in ["mcf", "lbm", "bzip2", "libquantum"] {
+        let src = source(bench, Variant::Fixed);
+        let proc_opts = ProcessOptions {
+            max_steps: STEP_BUDGET,
+            violation_policy: ViolationPolicy::Audit,
+            ..Default::default()
+        };
+        let mut sys =
+            System::boot_source_with(&src, &BuildOptions::default(), proc_opts).expect("boots");
+        let r = sys
+            .process()
+            .run_with_updates("__start", UPDATE_INTERVAL, UPDATE_WINDOW)
+            .expect("runs");
+        assert!(matches!(r.outcome, Outcome::Exit { .. }), "{bench}: {:?}", r.outcome);
+        assert!(r.updates > 0, "{bench}: scripted updates must fire");
+    }
+}

@@ -125,3 +125,72 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Encode/decode round trip over the full 14-bit × 14-bit domain:
+    /// the word form loses nothing.
+    #[test]
+    fn id_encoding_round_trips(ecn in 0u32..mcfi_tables::ECN_LIMIT,
+                               version in 0u32..mcfi_tables::VERSION_LIMIT) {
+        use mcfi_tables::{Ecn, Id, Version};
+        let id = Id::encode(Ecn::new(ecn), Version::new(version));
+        prop_assert_eq!(id.ecn().raw(), ecn);
+        prop_assert_eq!(id.version().raw(), version);
+        let reparsed = Id::from_word(id.word());
+        prop_assert_eq!(reparsed, Some(id), "a valid word must re-parse to itself");
+    }
+
+    /// Every encoded ID carries the reserved-bit pattern `0,0,0,1` (high
+    /// byte to low byte) in the least-significant bit of each byte — the
+    /// Fig. 2 validity pattern a misaligned word cannot exhibit.
+    #[test]
+    fn id_reserved_bits_follow_fig2(ecn in 0u32..mcfi_tables::ECN_LIMIT,
+                                    version in 0u32..mcfi_tables::VERSION_LIMIT) {
+        use mcfi_tables::{Ecn, Id, Version};
+        let word = Id::encode(Ecn::new(ecn), Version::new(version)).word();
+        prop_assert_eq!(word & 0x0101_0101, 0x0000_0001);
+        prop_assert!(Id::word_is_valid(word));
+    }
+
+    /// The two 14-bit fields are fully isolated: re-encoding with one
+    /// field changed leaves the other field's bits untouched.
+    #[test]
+    fn id_fields_do_not_bleed(ecn_a in 0u32..mcfi_tables::ECN_LIMIT,
+                              ecn_b in 0u32..mcfi_tables::ECN_LIMIT,
+                              version_a in 0u32..mcfi_tables::VERSION_LIMIT,
+                              version_b in 0u32..mcfi_tables::VERSION_LIMIT) {
+        use mcfi_tables::{Ecn, Id, Version};
+        // Same ECN, different versions: upper halves match exactly.
+        let v1 = Id::encode(Ecn::new(ecn_a), Version::new(version_a)).word();
+        let v2 = Id::encode(Ecn::new(ecn_a), Version::new(version_b)).word();
+        prop_assert_eq!(v1 >> 16, v2 >> 16, "version change leaked into ECN bytes");
+        // Same version, different ECNs: lower halves match exactly.
+        let e1 = Id::encode(Ecn::new(ecn_a), Version::new(version_a)).word();
+        let e2 = Id::encode(Ecn::new(ecn_b), Version::new(version_a)).word();
+        prop_assert_eq!(e1 & 0xffff, e2 & 0xffff, "ECN change leaked into version bytes");
+        // And words are equal exactly when both fields are.
+        prop_assert_eq!(v1 == v2, version_a == version_b);
+        prop_assert_eq!(e1 == e2, ecn_a == ecn_b);
+    }
+
+    /// Corrupting any reserved bit of a valid word makes it invalid, and
+    /// `from_word` rejects every invalid word — including the all-zero
+    /// "not a target" sentinel.
+    #[test]
+    fn id_corrupted_words_are_rejected(ecn in 0u32..mcfi_tables::ECN_LIMIT,
+                                       version in 0u32..mcfi_tables::VERSION_LIMIT,
+                                       reserved_byte in 0u32..4,
+                                       raw in any::<u32>()) {
+        use mcfi_tables::Id;
+        use mcfi_tables::{Ecn, Version};
+        let word = Id::encode(Ecn::new(ecn), Version::new(version)).word();
+        let corrupted = word ^ (1 << (reserved_byte * 8));
+        prop_assert!(!Id::word_is_valid(corrupted));
+        prop_assert_eq!(Id::from_word(corrupted), None);
+        prop_assert_eq!(Id::from_word(0), None, "the zero word is never a valid ID");
+        // An arbitrary word parses exactly when its reserved bits match.
+        prop_assert_eq!(Id::from_word(raw).is_some(), raw & 0x0101_0101 == 0x0000_0001);
+    }
+}
