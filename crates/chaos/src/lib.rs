@@ -53,6 +53,15 @@ pub enum FaultPoint {
     /// CFG regeneration fails during `dlopen`, after the module has
     /// been mapped, relocated, and made executable.
     CfgRegenFail,
+    /// A checkpoint capture silently corrupts its payload: the stored
+    /// digest no longer matches the snapshot bytes, so a later restore
+    /// must detect the damage and fall back (param unused). Only
+    /// reached when a supervisor takes checkpoints.
+    CheckpointCorrupt,
+    /// A checkpoint restore fails outright (the snapshot is refused
+    /// before any state is touched), forcing the supervisor onto an
+    /// older checkpoint or a from-scratch re-run (param unused).
+    RestoreFail,
     /// A *schedule point* under the `mcfi-modelcheck` deterministic
     /// scheduler: every shadow atomic/lock operation reaches this site,
     /// so `sched-point@k` kills the updater at its `k`-th operation —
@@ -63,13 +72,15 @@ pub enum FaultPoint {
 }
 
 /// Every fault point, in wire-format order.
-pub const ALL_POINTS: [FaultPoint; 7] = [
+pub const ALL_POINTS: [FaultPoint; 9] = [
     FaultPoint::UpdaterCrash,
     FaultPoint::UpdaterStall,
     FaultPoint::TornTary,
     FaultPoint::VersionWarp,
     FaultPoint::VerifierReject,
     FaultPoint::CfgRegenFail,
+    FaultPoint::CheckpointCorrupt,
+    FaultPoint::RestoreFail,
     FaultPoint::SchedPoint,
 ];
 
@@ -77,7 +88,7 @@ pub const ALL_POINTS: [FaultPoint; 7] = [
 /// production (non-model-checked) build; [`FaultPlan::random`] draws
 /// only from these so wall-clock chaos plans never waste a fault on a
 /// site that cannot fire.
-const RUNTIME_POINTS: usize = 6;
+const RUNTIME_POINTS: usize = 8;
 
 impl FaultPoint {
     fn index(self) -> usize {
@@ -93,6 +104,8 @@ impl FaultPoint {
             FaultPoint::VersionWarp => "version-warp",
             FaultPoint::VerifierReject => "verifier-reject",
             FaultPoint::CfgRegenFail => "cfg-regen-fail",
+            FaultPoint::CheckpointCorrupt => "checkpoint-corrupt",
+            FaultPoint::RestoreFail => "restore-fail",
             FaultPoint::SchedPoint => "sched-point",
         }
     }

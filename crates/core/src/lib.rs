@@ -19,6 +19,7 @@
 //! | type-matching CFG generation | [`mcfi_cfggen`] |
 //! | static linker + PLT stubs | [`mcfi_linker`] |
 //! | sandboxed runtime, loader, dynamic linker, VM | [`mcfi_runtime`] |
+//! | self-healing supervisor (checkpoint/restore, quarantine, watchdog) | [`mcfi_supervisor`] |
 //! | modular verifier | [`mcfi_verifier`] |
 //! | classic/coarse/chunk baselines, AIR | [`mcfi_baselines`] |
 //! | ROP gadgets + attack case studies | [`mcfi_security`] |
@@ -53,9 +54,11 @@ pub use mcfi_chaos::{ChaosInjector, FaultPlan, FaultPoint};
 pub use mcfi_codegen::{CodegenOptions, Policy};
 pub use mcfi_module::Module;
 pub use mcfi_runtime::{
-    FaultKind, Outcome, Process, ProcessOptions, RunResult, ViolationLog, ViolationPolicy,
-    ViolationRecord,
+    Checkpoint, FaultKind, Outcome, Process, ProcessOptions, QuarantineConfig, QuarantineStatus,
+    RestoreError, RunResult, ViolationLog, ViolationPolicy, ViolationRecord,
 };
+pub use mcfi_supervisor::{RecoveryPolicy, Supervisor, SupervisorStats};
+pub use mcfi_tables::WatchdogVerdict;
 
 /// Target architecture flavor. The paper evaluates x86-32 and x86-64;
 /// the observable difference in this reproduction is LLVM-style tail-call
@@ -218,6 +221,12 @@ impl System {
     /// Access to the underlying process (tables, symbols, policies).
     pub fn process(&mut self) -> &mut Process {
         &mut self.process
+    }
+
+    /// Unwraps the booted process — e.g. to hand it to a
+    /// [`Supervisor`] for self-healing runs.
+    pub fn into_process(self) -> Process {
+        self.process
     }
 }
 

@@ -487,3 +487,136 @@ fn deep_exploration_under_budget_gate() {
         walk.counterexample.unwrap()
     );
 }
+
+/// The updater-lease watchdog, swept over every kill site: with the
+/// stamp-at-acquire discipline, *any* crash that left the tables skewed
+/// also left an expired lease behind, so one post-quiescence
+/// `watchdog_poll` heals the tables completely — no guest check ever
+/// had to trip over the window first.
+#[test]
+fn crash_sweep_watchdog_heals_every_kill_site() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use mcfi_tables::{LeaseConfig, WatchdogVerdict};
+
+    let heals = Arc::new(AtomicU64::new(0));
+    let make = {
+        let heals = Arc::clone(&heals);
+        move || {
+            let t = fresh_tables();
+            t.set_lease(LeaseConfig { clock: Arc::new(AtomicU64::new(0)), duration: 10 });
+            let (c1, u) = (Arc::clone(&t), Arc::clone(&t));
+            let finale_t = Arc::clone(&t);
+            let heals = Arc::clone(&heals);
+            ExecSpec {
+                threads: vec![
+                    ThreadSpec::new("checker-1", checker_body(c1)),
+                    ThreadSpec::new("updater", move || {
+                        u.bump_version();
+                    }),
+                ],
+                invariant: Some(invariant_for(&t)),
+                finale: Some(Box::new(move || {
+                    // Quiescence: the updater is dead (killed or done).
+                    // An expired stamp means it died mid-transaction;
+                    // the watchdog must be able to heal unaided.
+                    match finale_t.watchdog_poll(u64::MAX) {
+                        WatchdogVerdict::Healed { .. } => {
+                            heals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // No stamp: the kill landed before the stamp
+                        // (nothing written yet) or after the commit.
+                        WatchdogVerdict::Clean => {}
+                        other => {
+                            return Err(format!("watchdog verdict {other:?} after quiescence"))
+                        }
+                    }
+                    let current = finale_t.current_version();
+                    for addr in (0..CODE_SIZE as u64).step_by(4) {
+                        if let Some(id) = Id::from_word(finale_t.tary_word(addr)) {
+                            if id.version() != current {
+                                return Err(format!(
+                                    "post-watchdog Tary address {addr} stuck at version {}",
+                                    id.version().raw()
+                                ));
+                            }
+                        }
+                    }
+                    match finale_t.check(0, 8) {
+                        Ok(_) => {}
+                        Err(v) => return Err(format!("post-watchdog legal edge rejected: {v:?}")),
+                    }
+                    if finale_t.check(0, 16).is_ok() {
+                        return Err("post-watchdog forbidden edge admitted".to_string());
+                    }
+                    Ok(())
+                })),
+            }
+        }
+    };
+    let sweep = crash_sweep(
+        ExploreConfig { preemption_bound: 1, max_steps: 5_000, max_schedules: 50_000 },
+        "updater",
+        make,
+    );
+    assert!(
+        sweep.counterexample.is_none(),
+        "watchdog counterexample:\n{}",
+        sweep.counterexample.unwrap()
+    );
+    assert!(sweep.sites > 10, "sweep covered only {} crash sites", sweep.sites);
+    assert!(
+        heals.load(Ordering::Relaxed) > 0,
+        "no kill site ever left an expired lease for the watchdog to heal"
+    );
+}
+
+/// Seeded bug #3: an updater that stamps its lease *after* the Tary
+/// phase instead of at lock acquire. A crash anywhere in the Tary phase
+/// then leaves skewed tables with no stamp — the watchdog reads
+/// `Clean` and never heals. The crash-site sweep must find such a site,
+/// and the counterexample must replay.
+#[test]
+fn crash_sweep_catches_the_late_lease_stamp_bug() {
+    use std::sync::atomic::AtomicU64;
+    use mcfi_tables::LeaseConfig;
+
+    let make = || {
+        let t = fresh_tables();
+        t.set_lease(LeaseConfig { clock: Arc::new(AtomicU64::new(0)), duration: 10 });
+        let u = Arc::clone(&t);
+        let finale_t = Arc::clone(&t);
+        ExecSpec {
+            threads: vec![ThreadSpec::new("updater", move || {
+                u.bump_version_late_lease_for_tests();
+            })],
+            invariant: None,
+            finale: Some(Box::new(move || {
+                let _ = finale_t.watchdog_poll(u64::MAX);
+                let current = finale_t.current_version();
+                for addr in (0..CODE_SIZE as u64).step_by(4) {
+                    if let Some(id) = Id::from_word(finale_t.tary_word(addr)) {
+                        if id.version() != current {
+                            return Err(format!(
+                                "watchdog-blind skew: Tary address {addr} stuck at version {} \
+                                 after the lease poll",
+                                id.version().raw()
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            })),
+        }
+    };
+    let config = ExploreConfig { preemption_bound: 1, max_steps: 5_000, max_schedules: 50_000 };
+    let sweep = crash_sweep(config, "updater", make);
+    let cx = sweep.counterexample.expect("the late-stamp bug must be caught");
+    match &cx.outcome {
+        ExecOutcome::Fail(msg) => {
+            assert!(msg.contains("watchdog-blind skew"), "unexpected diagnosis: {msg}")
+        }
+        other => panic!("expected a finale failure, got {other:?}"),
+    }
+    let replayed = replay(config, &cx.trace, make);
+    assert_eq!(replayed.outcome, cx.outcome, "replay must reproduce the counterexample");
+}

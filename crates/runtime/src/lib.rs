@@ -27,10 +27,10 @@ pub mod vm;
 pub use icache::PredecodeCache;
 pub use mem::SandboxSnapshot;
 pub use process::{
-    FaultKind, Layout, LoadError, Outcome, Process, ProcessOptions, RunResult, ViolationLog,
-    ViolationPolicy, ViolationRecord,
+    Checkpoint, FaultKind, Layout, LoadError, Outcome, Process, ProcessOptions, QuarantineConfig,
+    QuarantineStatus, RestoreError, RunResult, ViolationLog, ViolationPolicy, ViolationRecord,
 };
-pub use vm::{Event, Vm, VmError, VmStats};
+pub use vm::{Event, Vm, VmError, VmState, VmStats};
 
 #[cfg(test)]
 mod tests {

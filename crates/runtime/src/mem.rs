@@ -335,6 +335,37 @@ pub struct SandboxSnapshot {
     regions: Vec<Region>,
 }
 
+impl SandboxSnapshot {
+    /// A content digest (FNV-1a over the image and region table) for
+    /// integrity-checking stored snapshots: a checkpoint records the
+    /// digest at capture time and verifies it before restoring, so a
+    /// corrupted checkpoint is detected instead of silently resuming
+    /// from garbage.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        for &b in &self.bytes {
+            eat(b);
+        }
+        for r in &self.regions {
+            for b in r.start.to_le_bytes().into_iter().chain(r.end.to_le_bytes()) {
+                eat(b);
+            }
+            eat(match r.perm {
+                Perm::R => 0,
+                Perm::Rw => 1,
+                Perm::Rx => 2,
+            });
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,12 +19,15 @@ use mcfi_machine::DecodeError;
 use mcfi_minic::types::TypeEnv;
 use mcfi_linker::build_plt_stub;
 use mcfi_module::{Module, RelocKind};
-use mcfi_tables::{CheckError, IdTables, RetryConfig, TablesConfig, TxCounters, ViolationKind};
+use mcfi_tables::{
+    CheckError, IdTables, LeaseConfig, RetryConfig, TablesConfig, TxCounters, ViolationKind,
+    WatchdogVerdict,
+};
 
 use crate::icache::PredecodeCache;
 use crate::mem::{MemFault, Perm, Sandbox, SandboxSnapshot};
 use crate::synth::Sys;
-use crate::vm::{Event, Vm, VmError};
+use crate::vm::{Event, Vm, VmError, VmState};
 
 /// Address-space layout of a process.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +79,15 @@ pub struct ProcessOptions {
     pub predecode: bool,
     /// What to do when a check transaction halts the program.
     pub violation_policy: ViolationPolicy,
+    /// Capacity of the audited-violation log (records kept verbatim
+    /// before rate-limiting kicks in; see [`ViolationLog`]).
+    pub violation_log_capacity: usize,
+    /// Steps between automatic in-run checkpoints (0 = disabled). When
+    /// enabled, the run loop captures a full [`Checkpoint`] — resumable
+    /// VM state included — every `checkpoint_interval` executed
+    /// instructions, keeping the most recent few
+    /// ([`Process::checkpoints`]).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for ProcessOptions {
@@ -86,6 +98,8 @@ impl Default for ProcessOptions {
             bary_capacity: 1 << 16,
             predecode: true,
             violation_policy: ViolationPolicy::Enforce,
+            violation_log_capacity: ViolationLog::CAPACITY,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -101,6 +115,14 @@ pub enum ViolationPolicy {
     /// proceed. Detection without enforcement: the run reports every
     /// would-be violation, but the program keeps its availability.
     Audit,
+    /// Halt at the `hlt` like `Enforce`, but signal that a supervisor
+    /// intends to *recover*: roll the process back to its last good
+    /// checkpoint, quarantine the module that owns the faulting branch,
+    /// and re-run (see `mcfi-supervisor`). At the process level this
+    /// behaves exactly like `Enforce` — the difference is the layer
+    /// above, which escalates to `Enforce` once its retry budget is
+    /// spent.
+    Recover,
 }
 
 /// One audited CFI violation (see [`ViolationPolicy::Audit`]).
@@ -122,20 +144,40 @@ pub struct ViolationRecord {
 ///
 /// Rate-limited by capacity rather than time: a hijacked indirect branch
 /// in a hot loop would otherwise grow the log without bound. The first
-/// [`ViolationLog::CAPACITY`] records are kept verbatim; everything after
-/// is counted in [`ViolationLog::dropped`].
-#[derive(Clone, Debug, Default)]
+/// `capacity` records are kept verbatim; everything after is counted in
+/// [`ViolationLog::dropped`]. Exactly at the boundary: the `capacity`-th
+/// violation is *retained* (`dropped() == 0`), and only the
+/// `capacity + 1`-st onward are dropped.
+#[derive(Clone, Debug)]
 pub struct ViolationLog {
     records: Vec<ViolationRecord>,
     dropped: u64,
+    capacity: usize,
+}
+
+impl Default for ViolationLog {
+    fn default() -> Self {
+        Self::with_capacity(Self::CAPACITY)
+    }
 }
 
 impl ViolationLog {
-    /// Maximum records retained verbatim.
+    /// The default record capacity (see
+    /// [`ProcessOptions::violation_log_capacity`] to configure it).
     pub const CAPACITY: usize = 64;
 
+    /// An empty log retaining at most `capacity` records verbatim.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ViolationLog { records: Vec::new(), dropped: 0, capacity }
+    }
+
+    /// The configured record capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     fn push(&mut self, rec: ViolationRecord) {
-        if self.records.len() < Self::CAPACITY {
+        if self.records.len() < self.capacity {
             self.records.push(rec);
         } else {
             self.dropped += 1;
@@ -277,6 +319,20 @@ pub struct RunResult {
     /// Dynamic loads rolled back during the run (failed `dlopen`s that
     /// restored the pre-load state).
     pub load_rollbacks: u64,
+    /// Checkpoints captured, as a process-lifetime total. Lifetime, not
+    /// a delta: supervisor recovery (restore, quarantine, watchdog
+    /// repair) happens *between* runs, so the final run's result must
+    /// report everything the recovery consumed to get there.
+    pub checkpoints: u64,
+    /// Checkpoint restores performed (process-lifetime total; see
+    /// [`RunResult::checkpoints`]).
+    pub restores: u64,
+    /// Libraries quarantined — banned after repeated failures or a
+    /// supervisor decision (process-lifetime total).
+    pub quarantines: u64,
+    /// Abandoned update transactions healed by the lease watchdog
+    /// (tables-lifetime total; see [`RunResult::checkpoints`]).
+    pub tx_lease_repairs: u64,
 }
 
 /// A loading/linking failure.
@@ -316,10 +372,167 @@ impl fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+#[derive(Clone)]
 struct LoadedModule {
     module: Module,
     code_base: u64,
     data_base: u64,
+}
+
+/// A restorable snapshot of a process: memory image, loader state, the
+/// library registry, run-visible output, and (for in-run checkpoints)
+/// the VM's register state.
+///
+/// The ID tables are deliberately *not* captured: restoring replays a
+/// fresh update transaction over the restored module set
+/// ([`Process::restore`] calls the same policy-installation path a load
+/// does), so concurrent checkers never observe a table rollback — table
+/// versions only move forward, exactly as during dynamic linking.
+/// Likewise excluded: quarantine state (a recovery must remember *why*
+/// it recovered), armed fault plans, and lifetime counters.
+#[derive(Clone)]
+pub struct Checkpoint {
+    mem: SandboxSnapshot,
+    /// Digest of `mem` recorded at capture; verified before restore.
+    digest: u64,
+    /// VM register state for resumable in-run checkpoints (`None` for
+    /// between-run checkpoints — restore then re-runs from the entry).
+    vm: Option<VmState>,
+    modules: Vec<LoadedModule>,
+    registry: HashMap<String, Module>,
+    got: BTreeMap<String, u64>,
+    plt: BTreeMap<String, u64>,
+    next_code: u64,
+    next_data: u64,
+    got_next: u64,
+    brk: u64,
+    total_slots: usize,
+    env: TypeEnv,
+    stdout: Vec<u8>,
+    execve_reached: bool,
+    violations: ViolationLog,
+    /// Table version at capture (diagnostic only — never restored).
+    table_version: u32,
+}
+
+impl Checkpoint {
+    /// Names of the modules loaded when the checkpoint was taken.
+    pub fn module_names(&self) -> Vec<String> {
+        self.modules.iter().map(|m| m.module.name.clone()).collect()
+    }
+
+    /// Whether the checkpoint captured resumable VM state (an in-run
+    /// checkpoint) rather than a between-run snapshot.
+    pub fn resumable(&self) -> bool {
+        self.vm.is_some()
+    }
+
+    /// Executed-instruction count at capture (0 for between-run
+    /// checkpoints).
+    pub fn steps(&self) -> u64 {
+        self.vm.as_ref().map_or(0, |v| v.stats().steps)
+    }
+
+    /// The memory-image digest recorded at capture.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The table version at capture (diagnostic — restore never rolls
+    /// the tables back to it).
+    pub fn table_version(&self) -> u32 {
+        self.table_version
+    }
+}
+
+/// FNV-1a over `bytes` (for deterministic per-library jitter seeds).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a [`Process::restore`] refused to restore a checkpoint. Both
+/// variants leave the process state completely untouched — the failure
+/// is detected before anything is written.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RestoreError {
+    /// Fault injection refused the restore ([`FaultPoint::RestoreFail`]).
+    Injected(u64),
+    /// The snapshot's recomputed digest no longer matches the digest
+    /// recorded at capture: the checkpoint is corrupt.
+    Corrupt {
+        /// Digest recorded when the checkpoint was taken.
+        expected: u64,
+        /// Digest recomputed from the stored snapshot.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Injected(p) => {
+                write!(f, "restore refused by injected fault (parameter {p})")
+            }
+            RestoreError::Corrupt { expected, actual } => write!(
+                f,
+                "checkpoint corrupt: digest {actual:#018x} != recorded {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Quarantine policy for repeatedly failing dynamic loads (opt-in via
+/// [`Process::set_quarantine`]).
+///
+/// Each `dlopen` failure for a library backs off its next retry
+/// exponentially (`base_backoff << (failures - 1)` cycles, plus seeded
+/// jitter so herds of retries decorrelate deterministically). After
+/// `max_failures` failures the library is banned outright: `dlopen`
+/// reports failure to the guest without even attempting the load.
+#[derive(Clone, Copy, Debug)]
+pub struct QuarantineConfig {
+    /// Failures before a permanent ban.
+    pub max_failures: u32,
+    /// Base backoff in simulated cycles (doubles per failure).
+    pub base_backoff: u64,
+    /// Seed for the deterministic retry jitter.
+    pub seed: u64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig { max_failures: 3, base_backoff: 1_000, seed: 1 }
+    }
+}
+
+/// Per-library quarantine state (see [`Process::quarantine_report`]).
+#[derive(Clone, Debug)]
+pub struct QuarantineStatus {
+    /// The library's registry name (or module name, for violation bans).
+    pub library: String,
+    /// Load failures observed so far.
+    pub failures: u32,
+    /// Earliest cycle at which the next load attempt is allowed.
+    pub retry_at: u64,
+    /// Whether the library is permanently banned.
+    pub banned: bool,
+    /// Human-readable reason for the most recent failure.
+    pub last_error: String,
+}
+
+#[derive(Clone, Debug)]
+struct QuarantineEntry {
+    failures: u32,
+    retry_at: u64,
+    banned: bool,
+    last_error: String,
 }
 
 /// An MCFI process: sandboxed memory, shared ID tables, loaded modules,
@@ -356,6 +569,24 @@ pub struct Process {
     load_rollbacks: u64,
     /// Violations recorded under [`ViolationPolicy::Audit`].
     violations: ViolationLog,
+    /// Recent checkpoints, oldest first (bounded; see `MAX_CHECKPOINTS`).
+    checkpoints: Vec<Checkpoint>,
+    /// Checkpoints captured over the process lifetime.
+    checkpoints_taken: u64,
+    /// Successful restores over the process lifetime.
+    restores: u64,
+    /// VM state to resume from on the next run (set by a restore of an
+    /// in-run checkpoint; consumed by `start_vm`).
+    pending_resume: Option<VmState>,
+    /// Quarantine policy (None = quarantine disabled, failed loads
+    /// retry freely — the pre-supervisor behavior).
+    quarantine: Option<QuarantineConfig>,
+    /// Per-library quarantine state.
+    quarantine_entries: HashMap<String, QuarantineEntry>,
+    /// Libraries banned so far (process lifetime total).
+    quarantines: u64,
+    /// `dlopen`s refused without a load attempt (backoff or ban).
+    quarantine_denials: u64,
 }
 
 /// Snapshot of the loader-visible process state, taken before a dynamic
@@ -410,7 +641,15 @@ impl Process {
             icache: PredecodeCache::new(),
             chaos: None,
             load_rollbacks: 0,
-            violations: ViolationLog::default(),
+            violations: ViolationLog::with_capacity(opts.violation_log_capacity),
+            checkpoints: Vec::new(),
+            checkpoints_taken: 0,
+            restores: 0,
+            pending_resume: None,
+            quarantine: None,
+            quarantine_entries: HashMap::new(),
+            quarantines: 0,
+            quarantine_denials: 0,
         }
     }
 
@@ -443,6 +682,250 @@ impl Process {
     /// Dynamic loads rolled back so far (process lifetime total).
     pub fn load_rollbacks(&self) -> u64 {
         self.load_rollbacks
+    }
+
+    /// Most recent checkpoints, at most `MAX_CHECKPOINTS` (4).
+    const MAX_CHECKPOINTS: usize = 4;
+
+    /// Checkpoints currently retained, oldest first.
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// Checkpoints captured so far (process lifetime total).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Successful restores so far (process lifetime total).
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Captures a between-run checkpoint (no VM state: a restore re-runs
+    /// from an entry point) and retains it. Returns a reference to the
+    /// stored checkpoint.
+    pub fn checkpoint_now(&mut self) -> &Checkpoint {
+        let cp = self.capture_checkpoint(None);
+        self.push_checkpoint(cp);
+        self.checkpoints.last().expect("just pushed")
+    }
+
+    fn capture_checkpoint(&mut self, vm: Option<&Vm>) -> Checkpoint {
+        let mem = self.mem.snapshot();
+        let mut digest = mem.digest();
+        // A corrupt checkpoint is modeled by skewing the *recorded*
+        // digest: the snapshot payload is opaque to this layer, and an
+        // unverifiable checkpoint is exactly what storage corruption
+        // produces — `restore` detects the mismatch and refuses.
+        if let Some(p) = self.chaos_fire(FaultPoint::CheckpointCorrupt) {
+            digest ^= p | 1;
+        }
+        self.checkpoints_taken += 1;
+        Checkpoint {
+            mem,
+            digest,
+            vm: vm.map(Vm::snapshot),
+            modules: self.modules.clone(),
+            registry: self.registry.clone(),
+            got: self.got.clone(),
+            plt: self.plt.clone(),
+            next_code: self.next_code,
+            next_data: self.next_data,
+            got_next: self.got_next,
+            brk: self.brk,
+            total_slots: self.total_slots,
+            env: self.env.clone(),
+            stdout: self.stdout.clone(),
+            execve_reached: self.execve_reached,
+            violations: self.violations.clone(),
+            table_version: self.tables.current_version().raw(),
+        }
+    }
+
+    fn push_checkpoint(&mut self, cp: Checkpoint) {
+        if self.checkpoints.len() == Self::MAX_CHECKPOINTS {
+            self.checkpoints.remove(0);
+        }
+        self.checkpoints.push(cp);
+    }
+
+    /// Restores the process to `cp`: memory image, loader state, library
+    /// registry, and run-visible output all return to their captured
+    /// values. The ID tables are *re-synchronized*, not rolled back — a
+    /// fresh update transaction installs the CFG of the restored module
+    /// set, so table versions keep moving forward and the predecode
+    /// cache invalidates itself via the sandbox generation bump.
+    ///
+    /// If `cp` captured VM state, the next run resumes from exactly that
+    /// state (the entry argument is ignored); otherwise the next run
+    /// starts from its entry point as usual.
+    ///
+    /// # Errors
+    ///
+    /// Refuses — leaving the process untouched — when fault injection
+    /// fails the restore or the checkpoint's digest no longer matches.
+    pub fn restore(&mut self, cp: &Checkpoint) -> Result<(), RestoreError> {
+        if let Some(p) = self.chaos_fire(FaultPoint::RestoreFail) {
+            return Err(RestoreError::Injected(p));
+        }
+        let actual = cp.mem.digest();
+        if actual != cp.digest {
+            return Err(RestoreError::Corrupt { expected: cp.digest, actual });
+        }
+        self.mem.restore(cp.mem.clone());
+        self.modules = cp.modules.clone();
+        self.registry = cp.registry.clone();
+        self.got = cp.got.clone();
+        self.plt = cp.plt.clone();
+        self.next_code = cp.next_code;
+        self.next_data = cp.next_data;
+        self.got_next = cp.got_next;
+        self.brk = cp.brk;
+        self.total_slots = cp.total_slots;
+        self.env = cp.env.clone();
+        self.stdout = cp.stdout.clone();
+        self.execve_reached = cp.execve_reached;
+        self.violations = cp.violations.clone();
+        self.pending_resume = cp.vm.clone();
+        // Re-sync the tables to the restored module set with a forward
+        // update transaction (never a rollback).
+        self.install_policy();
+        self.restores += 1;
+        Ok(())
+    }
+
+    /// Enables quarantine-with-backoff for failing dynamic loads.
+    pub fn set_quarantine(&mut self, config: QuarantineConfig) {
+        self.quarantine = Some(config);
+    }
+
+    /// The active violation policy.
+    pub fn violation_policy(&self) -> ViolationPolicy {
+        self.opts.violation_policy
+    }
+
+    /// Changes the violation policy between runs (supervisor use:
+    /// escalating [`ViolationPolicy::Recover`] to `Enforce` once the
+    /// recovery budget is spent).
+    pub fn set_violation_policy(&mut self, policy: ViolationPolicy) {
+        self.opts.violation_policy = policy;
+    }
+
+    /// Changes the in-run checkpoint cadence (steps between automatic
+    /// checkpoints; 0 disables them). Takes effect on the next run.
+    pub fn set_checkpoint_interval(&mut self, steps: u64) {
+        self.opts.checkpoint_interval = steps;
+    }
+
+    /// Bans `name` outright (supervisor use: the module owned a faulting
+    /// branch). Counts as a quarantine regardless of its failure history.
+    pub fn quarantine_module(&mut self, name: &str, reason: &str) {
+        let entry = self
+            .quarantine_entries
+            .entry(name.to_string())
+            .or_insert(QuarantineEntry { failures: 0, retry_at: 0, banned: false, last_error: String::new() });
+        entry.failures += 1;
+        entry.last_error = reason.to_string();
+        if !entry.banned {
+            entry.banned = true;
+            self.quarantines += 1;
+        }
+    }
+
+    /// The quarantine state of every library that has ever failed,
+    /// sorted by name.
+    pub fn quarantine_report(&self) -> Vec<QuarantineStatus> {
+        let mut out: Vec<QuarantineStatus> = self
+            .quarantine_entries
+            .iter()
+            .map(|(name, e)| QuarantineStatus {
+                library: name.clone(),
+                failures: e.failures,
+                retry_at: e.retry_at,
+                banned: e.banned,
+                last_error: e.last_error.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.library.cmp(&b.library));
+        out
+    }
+
+    /// Libraries banned so far (process lifetime total).
+    pub fn quarantine_count(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// `dlopen`s refused without a load attempt (backoff or ban).
+    pub fn quarantine_denials(&self) -> u64 {
+        self.quarantine_denials
+    }
+
+    /// Whether a `dlopen` of `name` at cycle `now` should be refused
+    /// without attempting the load.
+    fn quarantine_denied(&self, name: &str, now: u64) -> bool {
+        match self.quarantine_entries.get(name) {
+            Some(e) => e.banned || now < e.retry_at,
+            None => false,
+        }
+    }
+
+    /// Records a load failure for `name`, arming backoff (and, past the
+    /// budget, a permanent ban). No-op unless quarantine is enabled.
+    fn note_load_failure(&mut self, name: &str, now: u64, err: &LoadError) {
+        let Some(cfg) = self.quarantine else { return };
+        let entry = self
+            .quarantine_entries
+            .entry(name.to_string())
+            .or_insert(QuarantineEntry { failures: 0, retry_at: 0, banned: false, last_error: String::new() });
+        entry.failures += 1;
+        entry.last_error = err.to_string();
+        if entry.failures >= cfg.max_failures {
+            if !entry.banned {
+                entry.banned = true;
+                self.quarantines += 1;
+            }
+            return;
+        }
+        let backoff = cfg.base_backoff << (entry.failures - 1);
+        // Deterministic jitter: xorshift64 over (seed, library, attempt).
+        let mut x = cfg.seed ^ fnv64(name.as_bytes()) ^ u64::from(entry.failures);
+        x |= 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jitter = if cfg.base_backoff == 0 { 0 } else { x % cfg.base_backoff };
+        entry.retry_at = now.saturating_add(backoff).saturating_add(jitter);
+    }
+
+    /// Clears quarantine state after a successful load.
+    fn note_load_success(&mut self, name: &str) {
+        self.quarantine_entries.remove(name);
+    }
+
+    /// The name of the loaded module whose code region contains `pc`
+    /// (supervisor use: attributing a CFI violation to a module).
+    pub fn module_at(&self, pc: u64) -> Option<&str> {
+        self.modules.iter().find_map(|lm| {
+            let len = lm.module.code.len().max(4) as u64;
+            (lm.code_base <= pc && pc < lm.code_base + len).then_some(lm.module.name.as_str())
+        })
+    }
+
+    /// Arms an updater lease on the shared tables, with deadlines stamped
+    /// against this process's simulated cycle counter. Once armed, every
+    /// update transaction advertises `acquire-cycle + duration` while it
+    /// holds the update lock; a watchdog that sees the deadline expired
+    /// with the lock free knows the updater died mid-transaction.
+    pub fn enable_update_lease(&mut self, duration: u64) {
+        self.tables.set_lease(LeaseConfig { clock: self.cycle_counter(), duration });
+    }
+
+    /// Polls the updater watchdog at the current simulated cycle (see
+    /// [`mcfi_tables::IdTablesAt::watchdog_poll`]). Healing an abandoned
+    /// transaction counts into [`RunResult::tx_lease_repairs`].
+    pub fn watchdog_poll(&self) -> WatchdogVerdict {
+        self.tables.watchdog_poll(self.cycles_shared.load(Ordering::Relaxed))
     }
 
     /// The shared ID tables (hand these to an updater thread to exercise
@@ -896,6 +1379,16 @@ impl Process {
     /// Prepares a VM positioned at exported function `entry` and resets
     /// the per-run process state.
     fn start_vm(&mut self, entry: &str) -> Result<Vm, LoadError> {
+        // A pending restore resumes mid-program: the VM comes back at
+        // the checkpointed pc with the checkpointed registers and stats,
+        // and the run-visible state (stdout, violations, execve flag)
+        // keeps the restored values so the completed run is
+        // indistinguishable from one that never failed.
+        if let Some(state) = self.pending_resume.take() {
+            let mut vm = Vm::new(0);
+            vm.restore_state(&state);
+            return Ok(vm);
+        }
         let pc = self.symbol(entry).ok_or_else(|| LoadError::Unresolved(entry.to_string()))?;
         let mut vm = Vm::new(pc);
         vm.regs[mcfi_machine::Reg::Rsp.index()] = self.opts.layout.stack_top;
@@ -933,6 +1426,10 @@ impl Process {
             tx_repairs: tx.repairs.saturating_sub(start_tx.repairs),
             audited_violations: self.violations.total(),
             load_rollbacks: self.load_rollbacks - start_rollbacks,
+            checkpoints: self.checkpoints_taken,
+            restores: self.restores,
+            quarantines: self.quarantines,
+            tx_lease_repairs: tx.lease_repairs,
         }
     }
 
@@ -1011,10 +1508,17 @@ impl Process {
             _ => 0,
         };
         let mut commit_at = 0u64;
+        let cp_interval = self.opts.checkpoint_interval;
+        let mut next_checkpoint = vm.stats.steps.saturating_add(cp_interval);
 
         let outcome = loop {
             if vm.stats.steps >= self.opts.max_steps {
                 break Outcome::StepLimit;
+            }
+            if cp_interval > 0 && vm.stats.steps >= next_checkpoint {
+                let cp = self.capture_checkpoint(Some(&vm));
+                self.push_checkpoint(cp);
+                next_checkpoint = vm.stats.steps.saturating_add(cp_interval);
             }
             match &mut driver {
                 Driver::Plain => {}
@@ -1045,11 +1549,21 @@ impl Process {
             match stepped {
                 Ok(Event::Continue) => {}
                 Ok(Event::Halt { pc }) => {
-                    if self.opts.violation_policy == ViolationPolicy::Audit {
-                        if let Some(resume) = self.audit_resume(&mut vm, pc) {
-                            vm.pc = resume;
-                            continue;
+                    match self.opts.violation_policy {
+                        ViolationPolicy::Audit => {
+                            if let Some(resume) = self.audit_resume(&mut vm, pc) {
+                                vm.pc = resume;
+                                continue;
+                            }
                         }
+                        ViolationPolicy::Recover => {
+                            // Record the violation like an audit would —
+                            // the supervisor reads the log to attribute
+                            // the halt to a module — but do not resume:
+                            // `Recover` halts exactly like `Enforce`.
+                            let _ = self.audit_resume(&mut vm, pc);
+                        }
+                        ViolationPolicy::Enforce => {}
                     }
                     break Outcome::CfiViolation { pc };
                 }
@@ -1169,14 +1683,28 @@ impl Process {
                     // A failed load has already been rolled back; the
                     // library stays registered for a later retry, dlopen
                     // reports failure to the guest, and the process keeps
-                    // running under its pre-load CFG.
-                    Some(module) => match self.load(module) {
-                        Ok(()) => {
-                            self.registry.remove(&name);
-                            1
+                    // running under its pre-load CFG. Under quarantine, a
+                    // banned or backing-off library is refused before the
+                    // load is even attempted.
+                    Some(module) => {
+                        let now = vm.stats.cycles;
+                        if self.quarantine_denied(&name, now) {
+                            self.quarantine_denials += 1;
+                            0
+                        } else {
+                            match self.load(module) {
+                                Ok(()) => {
+                                    self.note_load_success(&name);
+                                    self.registry.remove(&name);
+                                    1
+                                }
+                                Err(e) => {
+                                    self.note_load_failure(&name, now, &e);
+                                    0
+                                }
+                            }
                         }
-                        Err(_) => 0,
-                    },
+                    }
                     None => 0,
                 },
                 Err(e) => return SysOutcome::Fault(FaultKind::SysMem(e)),

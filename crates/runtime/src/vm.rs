@@ -125,6 +125,34 @@ pub struct Vm {
     last_check: Option<(usize, u64)>,
 }
 
+/// An opaque snapshot of the complete machine state ([`Vm::snapshot`]).
+///
+/// Captures the private parts too — comparison flags live across a
+/// `Cmp`/`Jcc` pair and the last-check bookkeeping across a check
+/// sequence — so a checkpoint taken between any two instructions
+/// resumes bit-exactly. Only [`Vm::restore_state`] can consume one.
+#[derive(Clone, Debug)]
+pub struct VmState {
+    regs: [u64; 16],
+    pc: u64,
+    flags: i64,
+    stats: VmStats,
+    last_bary: Option<usize>,
+    last_check: Option<(usize, u64)>,
+}
+
+impl VmState {
+    /// The program counter the snapshot resumes at.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The statistics as of the snapshot.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+}
+
 impl Vm {
     /// A machine with zeroed registers starting at `pc`.
     pub fn new(pc: u64) -> Self {
@@ -136,6 +164,29 @@ impl Vm {
             last_bary: None,
             last_check: None,
         }
+    }
+
+    /// Captures the complete machine state, private flags included.
+    pub fn snapshot(&self) -> VmState {
+        VmState {
+            regs: self.regs,
+            pc: self.pc,
+            flags: self.flags,
+            stats: self.stats,
+            last_bary: self.last_bary,
+            last_check: self.last_check,
+        }
+    }
+
+    /// Restores a [`Vm::snapshot`], making the machine bit-identical to
+    /// the captured one.
+    pub fn restore_state(&mut self, state: &VmState) {
+        self.regs = state.regs;
+        self.pc = state.pc;
+        self.flags = state.flags;
+        self.stats = state.stats;
+        self.last_bary = state.last_bary;
+        self.last_check = state.last_check;
     }
 
     /// Takes the `(bary_slot, target)` of the check whose failure led to

@@ -50,6 +50,6 @@ pub use error::{CfiViolation, CheckError, CheckStalled, ViolationKind};
 pub use id::{Ecn, Id, Version, ECN_LIMIT, VERSION_LIMIT};
 pub use sync::{StdSync, SyncFacade};
 pub use tables::{
-    IdTables, IdTablesAt, RetryConfig, SplitBump, TablesConfig, TaryView, TxCounters,
-    UpdateStats,
+    IdTables, IdTablesAt, LeaseConfig, RetryConfig, SplitBump, TablesConfig, TaryView,
+    TxCounters, UpdateStats, WatchdogVerdict,
 };

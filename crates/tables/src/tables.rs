@@ -9,7 +9,8 @@ use parking_lot::Mutex;
 use crate::error::{CfiViolation, CheckError, CheckStalled, ViolationKind};
 use crate::id::{Ecn, Id, Version, VERSION_LIMIT};
 use crate::sync::{
-    new_mutex, AtomicBoolOps, AtomicU32Ops, LockGuard, MutexOps, StdSync, SyncFacade,
+    new_mutex, AtomicBoolOps, AtomicU32Ops, AtomicU64Ops, LockGuard, MutexOps, StdSync,
+    SyncFacade,
 };
 
 /// Sizing for a pair of ID tables.
@@ -71,6 +72,51 @@ pub struct TxCounters {
     pub escalations: u64,
     /// Abandoned transactions repaired by completing the Bary phase.
     pub repairs: u64,
+    /// Repairs initiated by the updater-lease watchdog: an expired lease
+    /// detected by [`IdTablesAt::watchdog_poll`] whose repair pass ran.
+    pub lease_repairs: u64,
+}
+
+/// An updater lease: how update transactions stamp their deadline.
+///
+/// When configured via [`IdTablesAt::set_lease`], every update path
+/// stamps `clock + duration` into the lease-deadline word *immediately
+/// after acquiring the update lock* and clears it on completion. A
+/// crashed or wedged updater leaves the stamp behind, so a watchdog can
+/// detect the abandoned transaction by deadline expiry — without
+/// waiting for a checker to trip over the mixed-version window.
+///
+/// The clock is a plain monotonic counter supplied by the embedder (the
+/// runtime uses its simulated cycle counter), so lease expiry is as
+/// deterministic as the rest of the system.
+#[derive(Clone, Debug)]
+pub struct LeaseConfig {
+    /// The monotonic clock deadlines are stamped against.
+    pub clock: Arc<AtomicU64>,
+    /// Lease duration, in ticks of `clock`.
+    pub duration: u64,
+}
+
+/// What [`IdTablesAt::watchdog_poll`] found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WatchdogVerdict {
+    /// No lease outstanding: no update transaction is in flight.
+    Clean,
+    /// A lease is outstanding and has not expired — a live updater is
+    /// (presumably) mid-transaction; leave it alone.
+    LeaseActive,
+    /// The lease expired and the update lock was free: the updater died
+    /// mid-transaction. The watchdog ran the repair pass; `repaired`
+    /// reports whether any entry was actually stale.
+    Healed {
+        /// Whether the repair pass found (and fixed) stale IDs.
+        repaired: bool,
+    },
+    /// The lease expired but the update lock is still held — a wedged
+    /// (stalled, not dead) updater. The watchdog cannot safely repair;
+    /// callers should escalate (e.g. keep polling, or give up with a
+    /// stall diagnosis as bounded checks do).
+    Wedged,
 }
 
 /// The MCFI runtime ID tables, generic over the [`SyncFacade`] whose
@@ -96,6 +142,12 @@ pub struct IdTablesAt<S: SyncFacade = StdSync> {
     /// Set when an update transaction was abandoned between its phases
     /// (updater crash / poisoned `SplitBump`); cleared by repair.
     abandoned: S::AtomicBool,
+    /// The updater-lease deadline (0 = no lease outstanding). Stamped on
+    /// lock acquire and cleared on completion by every update path when a
+    /// [`LeaseConfig`] is installed; protocol state (the watchdog's
+    /// heal/leave-alone decision reads it), so it lives on the facade and
+    /// is a schedule point under the model checker.
+    lease_deadline: S::AtomicU64,
     /// Count of updates since the last quiescent reset, for ABA detection.
     ///
     /// This and the three counters below are instrumentation, not
@@ -110,6 +162,12 @@ pub struct IdTablesAt<S: SyncFacade = StdSync> {
     escalations: AtomicU64,
     /// Count of abandoned transactions repaired by a checker.
     repairs: AtomicU64,
+    /// Count of repairs initiated by the lease watchdog.
+    lease_repairs: AtomicU64,
+    /// The installed lease configuration, if any. Like `chaos`, this is
+    /// configuration (read under a plain mutex, never a schedule point);
+    /// only the deadline word above is protocol state.
+    lease: Mutex<Option<LeaseConfig>>,
     /// Fast disarmed-path gate for fault injection: a single relaxed load
     /// on the *update* paths (check fast paths are never instrumented).
     chaos_armed: AtomicBool,
@@ -133,10 +191,13 @@ impl<S: SyncFacade> IdTablesAt<S> {
             version: <S::AtomicU32 as AtomicU32Ops>::new(0),
             update_lock: new_mutex::<S, ()>(()),
             abandoned: <S::AtomicBool as AtomicBoolOps>::new(false),
+            lease_deadline: <S::AtomicU64 as AtomicU64Ops>::new(0),
             update_count: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
+            lease_repairs: AtomicU64::new(0),
+            lease: Mutex::new(None),
             chaos_armed: AtomicBool::new(false),
             chaos: Mutex::new(None),
         }
@@ -210,12 +271,99 @@ impl<S: SyncFacade> IdTablesAt<S> {
         self.repairs.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of all three resilience counters at once.
+    /// Total repairs initiated by the lease watchdog
+    /// ([`IdTablesAt::watchdog_poll`] on an expired lease).
+    pub fn lease_repair_count(&self) -> u64 {
+        self.lease_repairs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all resilience counters at once.
     pub fn tx_counters(&self) -> TxCounters {
         TxCounters {
             retries: self.retries.load(Ordering::Relaxed),
             escalations: self.escalations.load(Ordering::Relaxed),
             repairs: self.repairs.load(Ordering::Relaxed),
+            lease_repairs: self.lease_repairs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs an updater lease: from now on every update transaction
+    /// stamps `clock + duration` into the lease-deadline word on lock
+    /// acquire and clears it on completion, making an abandoned
+    /// transaction detectable by deadline expiry
+    /// ([`IdTablesAt::watchdog_poll`]). Without a configured lease the
+    /// deadline word is never touched, so the disarmed cost is one plain
+    /// mutex check per (rare) update transaction.
+    pub fn set_lease(&self, config: LeaseConfig) {
+        *self.lease.lock() = Some(config);
+    }
+
+    /// Removes the lease configuration and clears any outstanding stamp.
+    pub fn clear_lease(&self) {
+        let was = self.lease.lock().take();
+        if was.is_some() {
+            self.lease_deadline.store(0, Ordering::Release);
+        }
+    }
+
+    /// The currently stamped lease deadline (0 = no lease outstanding).
+    pub fn lease_deadline(&self) -> u64 {
+        self.lease_deadline.load(Ordering::Acquire)
+    }
+
+    /// The updater watchdog: checks the lease stamp against `now` and
+    /// heals an expired (abandoned) transaction via the repair pass.
+    ///
+    /// * no stamp → [`WatchdogVerdict::Clean`];
+    /// * unexpired stamp → [`WatchdogVerdict::LeaseActive`] (a live
+    ///   updater is mid-transaction — leave it alone);
+    /// * expired stamp, lock free → the updater died: run
+    ///   [`IdTablesAt::repair_abandoned`]'s repair pass under the lock,
+    ///   clear the stamp, count a lease repair →
+    ///   [`WatchdogVerdict::Healed`];
+    /// * expired stamp, lock held → the updater is wedged (e.g. an
+    ///   injected `updater-stall`): repair is not safe while it may still
+    ///   write → [`WatchdogVerdict::Wedged`].
+    ///
+    /// This is how a supervisor detects a crashed updater *proactively* —
+    /// the pre-existing escalation path in [`IdTablesAt::check_bounded`]
+    /// only fires once a guest check actually trips over the skewed
+    /// window.
+    pub fn watchdog_poll(&self, now: u64) -> WatchdogVerdict {
+        let deadline = self.lease_deadline.load(Ordering::Acquire);
+        if deadline == 0 {
+            return WatchdogVerdict::Clean;
+        }
+        if now < deadline {
+            return WatchdogVerdict::LeaseActive;
+        }
+        match self.update_lock.try_lock() {
+            Some(guard) => {
+                let repaired = self.repair_locked(&guard);
+                self.lease_repairs.fetch_add(1, Ordering::Relaxed);
+                WatchdogVerdict::Healed { repaired }
+            }
+            None => WatchdogVerdict::Wedged,
+        }
+    }
+
+    /// Stamps the lease deadline; called immediately after every update
+    /// path acquires the update lock. No-op without a [`LeaseConfig`].
+    fn stamp_lease(&self) {
+        let config = self.lease.lock().clone();
+        if let Some(config) = config {
+            let deadline =
+                config.clock.load(Ordering::Relaxed).saturating_add(config.duration).max(1);
+            self.lease_deadline.store(deadline, Ordering::Release);
+        }
+    }
+
+    /// Clears the lease stamp; called when an update path completes (still
+    /// under the update lock). Crash paths deliberately skip this — the
+    /// surviving stamp is what the watchdog detects.
+    fn clear_lease_stamp(&self) {
+        if self.lease.lock().is_some() {
+            self.lease_deadline.store(0, Ordering::Release);
         }
     }
 
@@ -392,6 +540,9 @@ impl<S: SyncFacade> IdTablesAt<S> {
             self.update_count.fetch_add(1, Ordering::Relaxed);
         }
         self.abandoned.store(false, Ordering::Release);
+        // The repair completed the abandoned transaction, so its lease —
+        // the stamp of the updater that died — is discharged too.
+        self.clear_lease_stamp();
         repaired
     }
 
@@ -481,6 +632,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
         between: impl FnOnce(),
     ) -> UpdateStats {
         let _guard = self.update_lock.lock();
+        self.stamp_lease();
         self.chaos_warp_version();
         let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
         self.version.store(next, Ordering::Release);
@@ -530,6 +682,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
             slot.store(word, Ordering::Release);
         }
 
+        self.clear_lease_stamp();
         let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
         UpdateStats {
             version: next,
@@ -568,6 +721,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// [`IdTables::update`], whose unfinished half cannot be reconstructed.
     fn restamp(&self, chunk: usize, pause: std::time::Duration) -> UpdateStats {
         let _guard = self.update_lock.lock();
+        self.stamp_lease();
         self.chaos_warp_version();
         let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
         self.version.store(next, Ordering::Release);
@@ -612,6 +766,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
                 slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
             }
         }
+        self.clear_lease_stamp();
         let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
         UpdateStats {
             version: next,
@@ -644,6 +799,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// [`crate::wide::WideIdTables::force_version`]).
     pub fn force_version(&self, raw: u32) {
         let _guard = self.update_lock.lock();
+        self.stamp_lease();
         let forced = raw % VERSION_LIMIT;
         self.version.store(forced, Ordering::Release);
         let version = Version::new(forced);
@@ -658,6 +814,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
                 slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
             }
         }
+        self.clear_lease_stamp();
         self.update_count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -670,6 +827,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// update transaction holds it across both phases.
     pub fn bump_version_split(&self) -> SplitBump<'_, S> {
         let guard = self.update_lock.lock();
+        self.stamp_lease();
         self.chaos_warp_version();
         let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
         self.version.store(next, Ordering::Release);
@@ -812,6 +970,49 @@ impl<S: SyncFacade> IdTablesAt<S> {
             completed: true,
         }
     }
+
+    /// **Deliberately buggy** version re-stamp that stamps the lease
+    /// deadline only *after* the Tary phase instead of at lock acquire.
+    /// An updater killed anywhere inside the Tary loop leaves skewed
+    /// tables behind with *no* lease stamp, so the watchdog sees
+    /// [`WatchdogVerdict::Clean`] and never heals — the wedge the
+    /// stamp-at-acquire discipline exists to make detectable. Test seam
+    /// for the model checker's lease seeded-bug canary (the crash-site
+    /// sweep must catch it); nothing else may call it.
+    #[doc(hidden)]
+    pub fn bump_version_late_lease_for_tests(&self) -> UpdateStats {
+        let _guard = self.update_lock.lock();
+        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
+        self.version.store(next, Ordering::Release);
+        let version = Version::new(next);
+        let mut tary_targets = 0;
+        for slot in &self.tary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                tary_targets += 1;
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+            }
+        }
+        // BUG: the stamp lands here, after the Tary writes — a crash
+        // above this line is invisible to the watchdog.
+        self.stamp_lease();
+        S::fence(Ordering::SeqCst);
+        let mut bary_branches = 0;
+        for slot in &self.bary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                bary_branches += 1;
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
+            }
+        }
+        self.clear_lease_stamp();
+        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        UpdateStats {
+            version: next,
+            tary_targets,
+            bary_branches,
+            updates_since_reset: updates,
+            completed: true,
+        }
+    }
 }
 
 /// An in-flight version re-stamp paused between its Tary and Bary
@@ -840,6 +1041,7 @@ impl<S: SyncFacade> SplitBump<'_, S> {
                 slot.store(Id::encode(id.ecn(), self.version).word(), Ordering::Release);
             }
         }
+        self.tables.clear_lease_stamp();
         self.tables.update_count.fetch_add(1, Ordering::Relaxed);
         self.finished = true;
     }
@@ -1238,6 +1440,83 @@ mod tests {
             assert!(h.join().unwrap() > 0);
         }
         assert!(!t.has_abandoned());
+    }
+
+    fn lease_on(t: &IdTables, duration: u64) -> Arc<AtomicU64> {
+        let clock = Arc::new(AtomicU64::new(0));
+        t.set_lease(LeaseConfig { clock: Arc::clone(&clock), duration });
+        clock
+    }
+
+    #[test]
+    fn lease_is_stamped_across_a_transaction_and_cleared_on_commit() {
+        let t = demo_tables();
+        let clock = lease_on(&t, 100);
+        clock.store(7, Ordering::Relaxed);
+        assert_eq!(t.lease_deadline(), 0, "no transaction in flight");
+        let split = t.bump_version_split();
+        assert_eq!(t.lease_deadline(), 107, "stamped at acquire");
+        split.finish();
+        assert_eq!(t.lease_deadline(), 0, "cleared on commit");
+        assert!(t.bump_version().completed);
+        assert_eq!(t.lease_deadline(), 0);
+    }
+
+    #[test]
+    fn watchdog_heals_a_crashed_updater_on_lease_expiry() {
+        let t = demo_tables();
+        let clock = lease_on(&t, 50);
+        t.arm_chaos(ChaosInjector::arm(
+            mcfi_chaos::FaultPlan::new().with(FaultPoint::UpdaterCrash, 1, 0),
+        ));
+        assert!(!t.bump_version().completed);
+        assert!(t.has_abandoned());
+        assert_eq!(t.lease_deadline(), 50, "the crash left the stamp behind");
+        // Before expiry the watchdog must leave a (possibly live) updater
+        // alone; after expiry it repairs and clears the lease.
+        assert_eq!(t.watchdog_poll(10), WatchdogVerdict::LeaseActive);
+        assert!(t.has_abandoned());
+        assert_eq!(t.watchdog_poll(50), WatchdogVerdict::Healed { repaired: true });
+        assert!(!t.has_abandoned());
+        assert_eq!(t.lease_deadline(), 0);
+        assert_eq!(t.lease_repair_count(), 1);
+        assert_eq!(t.tx_counters().lease_repairs, 1);
+        assert!(t.check(0, 8).is_ok(), "the healed tables enforce the policy");
+        assert!(t.check(0, 16).is_err());
+        let _ = clock;
+    }
+
+    #[test]
+    fn watchdog_reports_a_wedged_updater_without_touching_the_tables() {
+        let t = demo_tables();
+        lease_on(&t, 10);
+        std::mem::forget(t.bump_version_split()); // lock held forever
+        assert_eq!(t.watchdog_poll(u64::MAX), WatchdogVerdict::Wedged);
+        assert_eq!(t.lease_repair_count(), 0);
+    }
+
+    #[test]
+    fn watchdog_is_blind_without_a_lease() {
+        let t = demo_tables();
+        t.arm_chaos(ChaosInjector::arm(
+            mcfi_chaos::FaultPlan::new().with(FaultPoint::UpdaterCrash, 1, 0),
+        ));
+        assert!(!t.bump_version().completed);
+        // No lease configured: the crash left no stamp, so the watchdog
+        // has nothing to go on (only a checker's escalation can heal).
+        assert_eq!(t.watchdog_poll(u64::MAX), WatchdogVerdict::Clean);
+        assert!(t.has_abandoned());
+    }
+
+    #[test]
+    fn late_lease_seam_misses_mid_tary_crashes() {
+        // The seeded bug in miniature (the model checker's crash-site
+        // sweep proves the general case): a torn Tary under the *buggy*
+        // stamping leaves no lease, because the tear precedes the stamp.
+        let t = demo_tables();
+        lease_on(&t, 10);
+        assert!(t.bump_version_late_lease_for_tests().completed);
+        assert_eq!(t.lease_deadline(), 0, "the buggy path still clears on commit");
     }
 
     #[test]

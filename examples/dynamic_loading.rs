@@ -15,7 +15,10 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use mcfi::{compile_module, BuildOptions, Outcome, System};
+use mcfi::{
+    compile_module, BuildOptions, FaultPlan, FaultPoint, Outcome, QuarantineConfig,
+    RecoveryPolicy, Supervisor, System,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = BuildOptions::default();
@@ -85,5 +88,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(matches!(result.outcome, Outcome::Exit { .. }));
     assert!(result.updates >= 1, "dlopen must have updated the tables");
     println!("dynamic linking under concurrent updates: ✓");
+
+    quarantine_demo(&opts)?;
+    Ok(())
+}
+
+/// The self-healing side of dynamic loading: a library whose loads keep
+/// failing (here: injected verifier rejections) is quarantined with
+/// exponential backoff, and banned outright once it exhausts its
+/// failure budget — the guest just sees `dlopen` return 0.
+fn quarantine_demo(opts: &BuildOptions) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n-- module quarantine with backoff --");
+    // The guest retries the flaky library a few times, spinning between
+    // attempts so quarantine backoff windows can expire.
+    let host = r#"
+        int dlopen(char* name);
+        int main(void) {
+            int loads = 0;
+            int tries = 0;
+            while (tries < 6) {
+                loads = loads + dlopen("libflaky");
+                int i = 0;
+                while (i < 400) { i = i + 1; }
+                tries = tries + 1;
+            }
+            return loads;
+        }
+    "#;
+    let mut system = System::boot_source(host, opts)?;
+    system.register_library(
+        "libflaky",
+        compile_module("libflaky", "int flaky_fn(int v) { return v - 1; }", opts)?,
+    );
+    // Every verification attempt fails: occurrences 1..=6 all reject.
+    let plan = (1u64..=6)
+        .fold(FaultPlan::new(), |p, n| p.with(FaultPoint::VerifierReject, n, 0));
+    system.process().arm_chaos(plan);
+
+    // Two strikes and the module is banned; tiny backoff so the demo's
+    // spin loops outlive it.
+    let policy = RecoveryPolicy {
+        quarantine: QuarantineConfig { max_failures: 2, base_backoff: 100, seed: 1 },
+        ..Default::default()
+    };
+    let mut sup = Supervisor::new(system.into_process(), policy);
+    let result = sup.run("__start")?;
+
+    println!("outcome: {:?} (every dlopen denied or failed)", result.outcome);
+    println!("quarantines: {}, denials: {}", result.quarantines, sup.process().quarantine_denials());
+    for q in sup.process().quarantine_report() {
+        println!(
+            "  {}: {} failures, banned={}, last error: {}",
+            q.library, q.failures, q.banned, q.last_error
+        );
+    }
+    assert_eq!(result.outcome, Outcome::Exit { code: 0 }, "no load ever succeeded");
+    assert!(result.quarantines >= 1, "the flaky module was quarantined");
+    assert!(
+        sup.process().quarantine_report().iter().any(|q| q.library == "libflaky" && q.banned),
+        "two failures must ban the module"
+    );
+    println!("quarantine with backoff and ban: ✓");
     Ok(())
 }

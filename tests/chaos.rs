@@ -287,3 +287,88 @@ fn random_plans_replay_deterministically() {
         "every failed dlopen was rolled back and reported to the guest"
     );
 }
+
+/// The audit-log capacity is tunable per process and exact at the
+/// boundary: a log sized to the workload's violation count drops
+/// nothing, and shrinking it by one drops exactly one record.
+#[test]
+fn violation_log_capacity_is_exact_at_the_boundary() {
+    let src = "float g(float x) { return x; }\n\
+         int main(void) {\n\
+           void* raw = (void*)&g;\n\
+           int (*f)(int) = (int(*)(int))raw;\n\
+           int i = 0;\n\
+           while (i < 20) { int r = f(i); i = i + 1; }\n\
+           return 3;\n\
+         }";
+    let run = |capacity: usize| {
+        let popts = ProcessOptions {
+            violation_policy: ViolationPolicy::Audit,
+            violation_log_capacity: capacity,
+            ..Default::default()
+        };
+        let mut sys = System::boot_source_with(src, &opts(), popts).expect("boots");
+        let r = sys.run().expect("runs");
+        assert_eq!(r.outcome, Outcome::Exit { code: 3 }, "stdout: {}", r.stdout);
+        sys.process().violation_log().clone()
+    };
+
+    // Probe with a generous log to learn the workload's violation count.
+    let probe = run(10_000);
+    assert_eq!(probe.dropped(), 0);
+    let total = probe.records().len();
+    assert!(total >= 20, "one per iteration at least: {total}");
+
+    // Sized exactly to the workload: the last violation is retained...
+    let exact = run(total);
+    assert_eq!(exact.capacity(), total);
+    assert_eq!(exact.records().len(), total);
+    assert_eq!(exact.dropped(), 0, "nothing dropped at exact capacity");
+
+    // ...and one slot fewer drops exactly that one record.
+    let tight = run(total - 1);
+    assert_eq!(tight.records().len(), total - 1);
+    assert_eq!(tight.dropped(), 1, "exactly the boundary record is dropped");
+}
+
+/// Repeated load failures must not leak: every rejected `dlopen` bumps
+/// `load_rollbacks` by exactly one, moves the sandbox generation
+/// strictly forward (so stale icache entries die), and leaves the
+/// GOT/PLT area byte-for-byte untouched — after which a clean attempt
+/// still succeeds.
+#[test]
+fn repeated_rejections_roll_back_completely_every_time() {
+    let mut sys = System::boot_source("int main(void) { return 0; }", &opts()).expect("boots");
+    let data_base = ProcessOptions::default().layout.data_base as usize;
+    let got_area = |p: &mcfi::Process| p.mem().raw()[data_base..data_base + 0x1000].to_vec();
+
+    let p = sys.process();
+    p.arm_chaos(
+        FaultPlan::new()
+            .with(FaultPoint::VerifierReject, 1, 0)
+            .with(FaultPoint::VerifierReject, 2, 0)
+            // Site occurrences count per point: the first two attempts die
+            // in the verifier, so attempt 3 is this site's first visit.
+            .with(FaultPoint::CfgRegenFail, 1, 0),
+    );
+    for attempt in 1..=3u64 {
+        let lib = compile_module("libz", "int z_fn(int v) { return v + 1; }", &opts())
+            .expect("lib compiles");
+        let gen_before = p.mem().generation();
+        let got_before = got_area(p);
+        p.load(lib).expect_err("the planned fault rejects this attempt");
+        assert_eq!(p.load_rollbacks(), attempt, "one rollback per failure, monotonically");
+        assert!(
+            p.mem().generation() > gen_before,
+            "rollback {attempt} must advance the sandbox generation"
+        );
+        assert_eq!(got_area(p), got_before, "rollback {attempt} left GOT/PLT bytes behind");
+        assert!(p.symbol("z_fn").is_none(), "the module is fully unloaded");
+    }
+
+    let lib = compile_module("libz", "int z_fn(int v) { return v + 1; }", &opts())
+        .expect("lib compiles");
+    p.load(lib).expect("the plan is spent; a clean attempt loads");
+    assert_eq!(p.load_rollbacks(), 3, "the successful load adds no rollback");
+    assert!(p.symbol("z_fn").is_some());
+}
