@@ -62,6 +62,11 @@ pub enum FaultPoint {
     /// before any state is touched), forcing the supervisor onto an
     /// older checkpoint or a from-scratch re-run (param unused).
     RestoreFail,
+    /// The module image handed to `dlopen` is corrupted in flight: the
+    /// byte at offset `param % len` is xored with `0xa5` before
+    /// admission decoding, exercising the reject→rollback→quarantine
+    /// path on a live load.
+    MalformedImage,
     /// A *schedule point* under the `mcfi-modelcheck` deterministic
     /// scheduler: every shadow atomic/lock operation reaches this site,
     /// so `sched-point@k` kills the updater at its `k`-th operation —
@@ -72,7 +77,7 @@ pub enum FaultPoint {
 }
 
 /// Every fault point, in wire-format order.
-pub const ALL_POINTS: [FaultPoint; 9] = [
+pub const ALL_POINTS: [FaultPoint; 10] = [
     FaultPoint::UpdaterCrash,
     FaultPoint::UpdaterStall,
     FaultPoint::TornTary,
@@ -81,6 +86,7 @@ pub const ALL_POINTS: [FaultPoint; 9] = [
     FaultPoint::CfgRegenFail,
     FaultPoint::CheckpointCorrupt,
     FaultPoint::RestoreFail,
+    FaultPoint::MalformedImage,
     FaultPoint::SchedPoint,
 ];
 
@@ -88,7 +94,7 @@ pub const ALL_POINTS: [FaultPoint; 9] = [
 /// production (non-model-checked) build; [`FaultPlan::random`] draws
 /// only from these so wall-clock chaos plans never waste a fault on a
 /// site that cannot fire.
-const RUNTIME_POINTS: usize = 8;
+const RUNTIME_POINTS: usize = 9;
 
 impl FaultPoint {
     fn index(self) -> usize {
@@ -106,6 +112,7 @@ impl FaultPoint {
             FaultPoint::CfgRegenFail => "cfg-regen-fail",
             FaultPoint::CheckpointCorrupt => "checkpoint-corrupt",
             FaultPoint::RestoreFail => "restore-fail",
+            FaultPoint::MalformedImage => "malformed-image",
             FaultPoint::SchedPoint => "sched-point",
         }
     }
@@ -195,6 +202,9 @@ impl FaultPlan {
                     FaultPoint::UpdaterStall => rng.next() % 500,
                     FaultPoint::TornTary => rng.next() % 8,
                     FaultPoint::VersionWarp => 1 + rng.next() % 8,
+                    // Byte offset to corrupt, reduced mod the image
+                    // length at the injection site.
+                    FaultPoint::MalformedImage => rng.next() % 4096,
                     _ => 0,
                 };
                 PlannedFault { point, nth, param }

@@ -52,10 +52,11 @@ pub use mcfi_baselines::PolicyKind;
 pub use mcfi_cfggen::{CfgStats, ControlFlowPolicy, Placed};
 pub use mcfi_chaos::{ChaosInjector, FaultPlan, FaultPoint};
 pub use mcfi_codegen::{CodegenOptions, Policy};
-pub use mcfi_module::Module;
+pub use mcfi_module::{AdmissionError, DecodeLimits, Module, WireError, WireErrorKind};
 pub use mcfi_runtime::{
-    Checkpoint, FaultKind, Outcome, Process, ProcessOptions, QuarantineConfig, QuarantineStatus,
-    RestoreError, RunResult, ViolationLog, ViolationPolicy, ViolationRecord,
+    Checkpoint, FaultKind, LoadError, Outcome, Process, ProcessOptions, QuarantineConfig,
+    QuarantineReason, QuarantineStatus, RestoreError, RunResult, ViolationLog, ViolationPolicy,
+    ViolationRecord,
 };
 pub use mcfi_supervisor::{RecoveryPolicy, Supervisor, SupervisorStats};
 pub use mcfi_tables::WatchdogVerdict;
@@ -207,6 +208,13 @@ impl System {
     /// Registers a library for `dlopen`.
     pub fn register_library(&mut self, file_name: &str, module: Module) {
         self.process.register_library(file_name, module);
+    }
+
+    /// Registers an *untrusted* serialized module image for `dlopen`; it
+    /// passes through the full admission pipeline at load time (see
+    /// [`Process::register_library_image`]).
+    pub fn register_library_image(&mut self, file_name: &str, image: Vec<u8>) {
+        self.process.register_library_image(file_name, image);
     }
 
     /// Runs the program from `__start`.

@@ -36,6 +36,14 @@ pub enum LinkError {
     TypeClash(String),
     /// An import remained unresolved and `allow_unresolved` was false.
     Unresolved(String),
+    /// A module carries metadata that does not fit its own images
+    /// (offsets out of bounds or overflowing) — hostile or corrupt input.
+    Malformed {
+        /// The offending module's name.
+        module: String,
+        /// What is inconsistent.
+        what: String,
+    },
 }
 
 impl fmt::Display for LinkError {
@@ -44,6 +52,9 @@ impl fmt::Display for LinkError {
             LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
             LinkError::TypeClash(s) => write!(f, "type clash: {s}"),
             LinkError::Unresolved(s) => write!(f, "unresolved symbol `{s}`"),
+            LinkError::Malformed { module, what } => {
+                write!(f, "malformed module `{module}`: {what}")
+            }
         }
     }
 }
@@ -109,6 +120,11 @@ pub fn static_link(
     for (mi, m) in modules.iter().enumerate() {
         let rn = &renames[mi];
         let rename = |n: &str| -> String { rn.get(n).cloned().unwrap_or_else(|| n.to_string()) };
+        let malformed = |what: String| LinkError::Malformed { module: m.name.clone(), what };
+        let shift = |off: usize, base: usize, what: &str| {
+            off.checked_add(base)
+                .ok_or_else(|| malformed(format!("{what} offset {off} overflows")))
+        };
 
         // --- code ---
         while !out.code.len().is_multiple_of(4) {
@@ -142,7 +158,7 @@ pub fn static_link(
                 }
             }
             out.functions.insert(new_name, FunctionSym {
-                offset: sym.offset + code_off,
+                offset: shift(sym.offset, code_off, "function")?,
                 ..sym.clone()
             });
         }
@@ -150,36 +166,50 @@ pub fn static_link(
         // --- globals ---
         for (gname, g) in &m.globals {
             let new_name = rename(gname);
-            out.globals
-                .insert(new_name, GlobalSym { offset: g.offset + data_off, size: g.size });
+            out.globals.insert(
+                new_name,
+                GlobalSym { offset: shift(g.offset, data_off, "global")?, size: g.size },
+            );
         }
 
         // --- relocations ---
         for r in &m.relocs {
             out.relocs.push(Reloc {
-                patch_at: r.patch_at + code_off,
+                patch_at: shift(r.patch_at, code_off, "reloc")?,
                 kind: shift_reloc(&r.kind, &rename, table_base, code_off as u64),
             });
         }
         for r in &m.data_relocs {
             out.data_relocs.push(Reloc {
-                patch_at: r.patch_at + data_off,
+                patch_at: shift(r.patch_at, data_off, "data reloc")?,
                 kind: shift_reloc(&r.kind, &rename, table_base, code_off as u64),
             });
         }
 
         // --- aux: indirect branches (renumber slots, patch BaryLoads) ---
         for b in &m.aux.indirect_branches {
-            let new_slot = b.local_slot + slot_base;
-            let check_offset = b.check_offset + code_off;
+            let new_slot = b
+                .local_slot
+                .checked_add(slot_base)
+                .ok_or_else(|| malformed(format!("Bary slot {} overflows", b.local_slot)))?;
+            let check_offset = shift(b.check_offset, code_off, "check sequence")?;
             // Patch the BaryLoad immediate in the merged code image:
             // encoding is [opcode, reg, slot:u32-le].
-            out.code[check_offset + 2..check_offset + 6]
-                .copy_from_slice(&new_slot.to_le_bytes());
+            let imm = check_offset
+                .checked_add(2)
+                .zip(check_offset.checked_add(6))
+                .filter(|&(_, end)| end <= out.code.len())
+                .ok_or_else(|| {
+                    malformed(format!(
+                        "check sequence at {} does not fit the code image",
+                        b.check_offset
+                    ))
+                })?;
+            out.code[imm.0..imm.1].copy_from_slice(&new_slot.to_le_bytes());
             out.aux.indirect_branches.push(IndirectBranchInfo {
                 local_slot: new_slot,
                 check_offset,
-                branch_offset: b.branch_offset + code_off,
+                branch_offset: shift(b.branch_offset, code_off, "indirect branch")?,
                 in_function: rename(&b.in_function),
                 kind: match &b.kind {
                     BranchKind::Return { function } => {
@@ -189,12 +219,15 @@ pub fn static_link(
                 },
             });
         }
-        slot_base += m.aux.indirect_branches.len() as u32;
+        slot_base = u32::try_from(m.aux.indirect_branches.len())
+            .ok()
+            .and_then(|n| slot_base.checked_add(n))
+            .ok_or_else(|| malformed("Bary slot count overflows".into()))?;
 
         // --- aux: return sites, jump tables, tail calls ---
         for s in &m.aux.return_sites {
             out.aux.return_sites.push(mcfi_module::ReturnSiteInfo {
-                offset: s.offset + code_off,
+                offset: shift(s.offset, code_off, "return site")?,
                 in_function: rename(&s.in_function),
                 callee: match &s.callee {
                     CalleeKind::Direct(n) => CalleeKind::Direct(rename(n)),
@@ -204,12 +237,19 @@ pub fn static_link(
         }
         for t in &m.aux.jump_tables {
             out.aux.jump_tables.push(mcfi_module::JumpTableInfo {
-                table_offset: t.table_offset + code_off,
-                entries: t.entries.iter().map(|e| e + code_off).collect(),
+                table_offset: shift(t.table_offset, code_off, "jump table")?,
+                entries: t
+                    .entries
+                    .iter()
+                    .map(|&e| shift(e, code_off, "jump table entry"))
+                    .collect::<Result<_, _>>()?,
                 function: rename(&t.function),
             });
         }
-        table_base += m.aux.jump_tables.len() as u32;
+        table_base = u32::try_from(m.aux.jump_tables.len())
+            .ok()
+            .and_then(|n| table_base.checked_add(n))
+            .ok_or_else(|| malformed("jump table count overflows".into()))?;
         for (from, to) in &m.aux.tail_calls {
             out.aux.tail_calls.push((rename(from), rename(to)));
         }
@@ -252,8 +292,10 @@ fn shift_reloc(
         RelocKind::GlobalAbs(n) => RelocKind::GlobalAbs(rename(n)),
         RelocKind::CallRel(n) => RelocKind::CallRel(rename(n)),
         RelocKind::GotSlot(n) => RelocKind::GotSlot(rename(n)),
-        RelocKind::JumpTable(i) => RelocKind::JumpTable(i + table_base),
-        RelocKind::CodeAbs(o) => RelocKind::CodeAbs(o + code_off),
+        // Saturating: a hostile index cannot panic here; an out-of-range
+        // table index is caught when the relocation is applied.
+        RelocKind::JumpTable(i) => RelocKind::JumpTable(i.saturating_add(table_base)),
+        RelocKind::CodeAbs(o) => RelocKind::CodeAbs(o.saturating_add(code_off)),
     }
 }
 

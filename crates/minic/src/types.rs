@@ -139,7 +139,7 @@ pub struct Composite {
 ///
 /// Merging the environments of two modules during linking is the "simple
 /// union operation" of paper §6; [`TypeEnv::merge`] implements it.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Debug, Serialize, Deserialize)]
 pub struct TypeEnv {
     typedefs: HashMap<String, Type>,
     composites: HashMap<String, Composite>,

@@ -22,7 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod wire;
+
+pub use admission::AdmissionError;
+pub use wire::{DecodeLimits, WireError, WireErrorKind};
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -183,7 +187,7 @@ pub struct Import {
 }
 
 /// The auxiliary information attached to a module (paper §6).
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Debug, Serialize, Deserialize)]
 pub struct AuxInfo {
     /// The module's typedefs and composite definitions.
     pub env: TypeEnv,
@@ -202,7 +206,7 @@ pub struct AuxInfo {
 
 /// An MCFI module: instrumented code, data, symbols, relocations and
 /// auxiliary type information.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Module {
     /// Module name (for diagnostics).
     pub name: String,

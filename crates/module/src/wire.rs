@@ -6,27 +6,176 @@
 //! maps, strings and byte buffers, a one-byte tag for `Option`, and a
 //! `u32` variant index for enums. Struct fields are written in declaration
 //! order with no names — the schema is the Rust type itself.
+//!
+//! # Hostile input
+//!
+//! Module images cross a trust boundary: a guest hands arbitrary bytes to
+//! `dlopen` and the runtime must reject them without crashing, hanging, or
+//! over-allocating. The decoder therefore enforces a [`DecodeLimits`]
+//! budget (input size, per-collection length, recursion depth, cumulative
+//! allocation), validates every length prefix against the bytes actually
+//! remaining before allocating, and never panics on any input. Every
+//! [`WireError`] carries the byte offset and the field path at which
+//! decoding failed so rejected images are diagnosable.
+//!
+//! One deliberate trade-off: a sequence or map length prefix must not
+//! exceed the number of input bytes remaining. Since every element of the
+//! types used on the wire occupies at least one byte this rejects only
+//! hostile prefixes, but it does mean collections of zero-sized elements
+//! (e.g. `Vec<()>`) longer than the remaining input do not round-trip —
+//! the same restriction bincode imposes, and the price of making a 16-byte
+//! image claiming 2^60 elements fail in O(1).
 
-use std::fmt;
+use std::fmt::{self, Write as _};
 
 use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
 use serde::ser::{self, Serialize};
 
+/// Resource budget enforced while decoding untrusted bytes.
+///
+/// [`from_bytes`] uses [`DecodeLimits::default`], which is effectively
+/// unlimited except for a generous recursion cap (decoding trusted,
+/// self-produced images must never get slower or stricter). The admission
+/// path for guest-supplied images uses [`DecodeLimits::admission`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeLimits {
+    /// Maximum total input size in bytes; longer inputs are rejected
+    /// before any decoding starts.
+    pub max_input_bytes: usize,
+    /// Maximum length accepted from any single sequence/map/string/bytes
+    /// length prefix.
+    pub max_len: usize,
+    /// Maximum nesting depth of sequences, maps, tuples/structs, enums
+    /// and `Some(..)` options. Bounds stack use on adversarial nesting.
+    pub max_depth: usize,
+    /// Maximum cumulative bytes of collection payload a single decode may
+    /// claim (the sum of all length prefixes).
+    pub max_alloc: usize,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            max_input_bytes: usize::MAX,
+            max_len: usize::MAX,
+            max_depth: 512,
+            max_alloc: usize::MAX,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// The budget applied to guest-supplied module images at admission.
+    ///
+    /// Generous relative to any real module this toolchain emits (the
+    /// largest workload image is well under a megabyte) but small enough
+    /// that a hostile image cannot make the runtime allocate or recurse
+    /// unreasonably.
+    #[must_use]
+    pub const fn admission() -> Self {
+        DecodeLimits {
+            max_input_bytes: 16 << 20,
+            max_len: 1 << 20,
+            max_depth: 64,
+            max_alloc: 64 << 20,
+        }
+    }
+}
+
+/// What class of failure a [`WireError`] reports.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireErrorKind {
+    /// Structurally invalid bytes: truncation, bad tags, invalid UTF-8,
+    /// trailing garbage, or a length prefix larger than the remaining
+    /// input.
+    Malformed,
+    /// A [`DecodeLimits`] budget axis was exceeded.
+    LimitExceeded {
+        /// Which budget axis: `"input-bytes"`, `"length"`, `"depth"` or
+        /// `"alloc"`.
+        which: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// The value that exceeded it.
+        actual: u64,
+    },
+}
+
 /// Errors produced while encoding or decoding.
+///
+/// Decode errors carry the byte offset at which decoding stopped and the
+/// field path (e.g. `Module.functions[2].sig`) being decoded; encode
+/// errors carry neither.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WireError {
+    kind: WireErrorKind,
     message: String,
+    offset: Option<usize>,
+    context: String,
 }
 
 impl WireError {
     fn new(msg: impl Into<String>) -> Self {
-        WireError { message: msg.into() }
+        WireError {
+            kind: WireErrorKind::Malformed,
+            message: msg.into(),
+            offset: None,
+            context: String::new(),
+        }
+    }
+
+    fn limit(which: &'static str, limit: u64, actual: u64) -> Self {
+        WireError {
+            kind: WireErrorKind::LimitExceeded { which, limit, actual },
+            message: format!("{which} limit exceeded: {actual} > {limit}"),
+            offset: None,
+            context: String::new(),
+        }
+    }
+
+    /// Attaches an offset and context unless already present (errors made
+    /// by `serde`'s `Error::custom` have neither; the top-level decode
+    /// entry point patches them in from the frozen decoder state).
+    fn located(mut self, offset: usize, context: String) -> Self {
+        if self.offset.is_none() {
+            self.offset = Some(offset);
+            self.context = context;
+        }
+        self
+    }
+
+    /// The failure class.
+    pub fn kind(&self) -> &WireErrorKind {
+        &self.kind
+    }
+
+    /// The byte offset at which decoding stopped, if this is a decode
+    /// error.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+
+    /// The field path being decoded when the error occurred (may be
+    /// empty), e.g. `Module.functions[2].sig`.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// The bare error message, without location.
+    pub fn message(&self) -> &str {
+        &self.message
     }
 }
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wire format error: {}", self.message)
+        match self.offset {
+            Some(off) if !self.context.is_empty() => {
+                write!(f, "wire format error at byte {off} ({}): {}", self.context, self.message)
+            }
+            Some(off) => write!(f, "wire format error at byte {off}: {}", self.message),
+            None => write!(f, "wire format error: {}", self.message),
+        }
     }
 }
 
@@ -56,22 +205,61 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
     Ok(ser.out)
 }
 
-/// Deserializes a value from bytes produced by [`to_bytes`].
+/// Deserializes a value from bytes produced by [`to_bytes`], with the
+/// default (effectively unlimited) budget.
 ///
 /// # Errors
 ///
 /// Returns a [`WireError`] on truncated or malformed input, or if trailing
 /// bytes remain.
 pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
-    let mut de = Decoder { input: bytes, pos: 0 };
-    let value = T::deserialize(&mut de)?;
-    if de.pos != bytes.len() {
-        return Err(WireError::new(format!(
-            "{} trailing bytes after value",
-            bytes.len() - de.pos
-        )));
+    from_bytes_limited(bytes, &DecodeLimits::default())
+}
+
+/// Deserializes a value from untrusted bytes under an explicit
+/// [`DecodeLimits`] budget.
+///
+/// Never panics: any input either decodes to a value or returns a
+/// [`WireError`] carrying the byte offset and field path of the failure.
+///
+/// # Errors
+///
+/// [`WireErrorKind::Malformed`] for structurally invalid input;
+/// [`WireErrorKind::LimitExceeded`] when a budget axis is exhausted.
+pub fn from_bytes_limited<T: DeserializeOwned>(
+    bytes: &[u8],
+    limits: &DecodeLimits,
+) -> Result<T, WireError> {
+    if bytes.len() > limits.max_input_bytes {
+        return Err(WireError::limit(
+            "input-bytes",
+            limits.max_input_bytes as u64,
+            bytes.len() as u64,
+        ));
     }
-    Ok(value)
+    let mut de = Decoder {
+        input: bytes,
+        pos: 0,
+        limits: *limits,
+        depth: 0,
+        alloc: 0,
+        path: Vec::new(),
+    };
+    match T::deserialize(&mut de) {
+        Ok(value) => {
+            if de.pos != bytes.len() {
+                return Err(WireError::new(format!(
+                    "{} trailing bytes after value",
+                    bytes.len() - de.pos
+                ))
+                .located(de.pos, String::new()));
+            }
+            Ok(value)
+        }
+        // The path is only unwound on success, so on failure it still
+        // names the field being decoded; `pos` is frozen at the failure.
+        Err(e) => Err(e.located(de.pos, render_path(&de.path))),
+    }
 }
 
 struct Encoder {
@@ -286,9 +474,38 @@ impl ser::SerializeStructVariant for &mut Encoder {
     }
 }
 
+/// A segment of the field path the decoder is currently inside.
+#[derive(Clone, Copy, Debug)]
+enum Seg {
+    Name(&'static str),
+    Index(usize),
+}
+
+fn render_path(path: &[Seg]) -> String {
+    let mut s = String::new();
+    for seg in path {
+        match seg {
+            Seg::Name(n) => {
+                if !s.is_empty() {
+                    s.push('.');
+                }
+                s.push_str(n);
+            }
+            Seg::Index(i) => {
+                let _ = write!(s, "[{i}]");
+            }
+        }
+    }
+    s
+}
+
 struct Decoder<'de> {
     input: &'de [u8],
     pos: usize,
+    limits: DecodeLimits,
+    depth: usize,
+    alloc: usize,
+    path: Vec<Seg>,
 }
 
 impl<'de> Decoder<'de> {
@@ -303,22 +520,81 @@ impl<'de> Decoder<'de> {
         Ok(s)
     }
 
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| WireError::new("internal: fixed-width slice size mismatch"))
+    }
+
+    /// Reads a `u64` length prefix and validates it against the budget and
+    /// the bytes remaining, charging it to the allocation budget.
     fn take_len(&mut self) -> Result<usize, WireError> {
-        let bytes = self.take(8)?;
-        let len = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
-        usize::try_from(len).map_err(|_| WireError::new("length overflows usize"))
+        let len = u64::from_le_bytes(self.take_array::<8>()?);
+        let len = usize::try_from(len).map_err(|_| WireError::new("length overflows usize"))?;
+        if len > self.limits.max_len {
+            return Err(WireError::limit("length", self.limits.max_len as u64, len as u64));
+        }
+        // Every element of the types used on the wire occupies at least
+        // one byte, so a prefix beyond the remaining input is hostile —
+        // reject it before allocating or looping.
+        let remaining = self.input.len() - self.pos;
+        if len > remaining {
+            return Err(WireError::new(format!(
+                "length prefix {len} exceeds {remaining} remaining bytes"
+            )));
+        }
+        self.alloc = self.alloc.saturating_add(len);
+        if self.alloc > self.limits.max_alloc {
+            return Err(WireError::limit(
+                "alloc",
+                self.limits.max_alloc as u64,
+                self.alloc as u64,
+            ));
+        }
+        Ok(len)
     }
 
     fn take_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
+    }
+
+    fn enter(&mut self) -> Result<(), WireError> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(WireError::limit(
+                "depth",
+                self.limits.max_depth as u64,
+                self.depth as u64,
+            ));
+        }
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Decodes a fixed-arity compound (tuple, struct, tuple/struct enum
+    /// variant), tracking field names in the path when known.
+    fn tuple_like<V: Visitor<'de>>(
+        &mut self,
+        len: usize,
+        fields: Option<&'static [&'static str]>,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.enter()?;
+        let r = visitor.visit_seq(Counted { de: self, remaining: len, index: 0, fields });
+        if r.is_ok() {
+            self.exit();
+        }
+        r
     }
 }
 
 macro_rules! de_scalar {
     ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-            let bytes = self.take($n)?;
-            visitor.$visit(<$ty>::from_le_bytes(bytes.try_into().expect("fixed width")))
+            visitor.$visit(<$ty>::from_le_bytes(self.take_array::<$n>()?))
         }
     };
 }
@@ -381,7 +657,14 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         match self.take(1)?[0] {
             0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
+            1 => {
+                self.enter()?;
+                let r = visitor.visit_some(&mut *self);
+                if r.is_ok() {
+                    self.exit();
+                }
+                r
+            }
             b => Err(WireError::new(format!("invalid option tag {b}"))),
         }
     }
@@ -407,8 +690,13 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     }
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.enter()?;
         let len = self.take_len()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        let r = visitor.visit_seq(Counted { de: self, remaining: len, index: 0, fields: None });
+        if r.is_ok() {
+            self.exit();
+        }
+        r
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -416,7 +704,7 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        self.tuple_like(len, None, visitor)
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -425,30 +713,45 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        self.deserialize_tuple(len, visitor)
+        self.tuple_like(len, None, visitor)
     }
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.enter()?;
         let len = self.take_len()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
+        let r = visitor.visit_map(Counted { de: self, remaining: len, index: 0, fields: None });
+        if r.is_ok() {
+            self.exit();
+        }
+        r
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
         self,
-        _name: &'static str,
+        name: &'static str,
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        self.deserialize_tuple(fields.len(), visitor)
+        // Root the error context at the top-level type name; nested
+        // structs are already named by the field that holds them.
+        if self.path.is_empty() {
+            self.path.push(Seg::Name(name));
+        }
+        self.tuple_like(fields.len(), Some(fields), visitor)
     }
 
     fn deserialize_enum<V: Visitor<'de>>(
         self,
         _name: &'static str,
-        _variants: &'static [&'static str],
+        variants: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_enum(EnumAccess { de: self })
+        self.enter()?;
+        let r = visitor.visit_enum(EnumAccess { de: self, variants });
+        if r.is_ok() {
+            self.exit();
+        }
+        r
     }
 
     fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
@@ -467,6 +770,17 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 struct Counted<'a, 'de> {
     de: &'a mut Decoder<'de>,
     remaining: usize,
+    index: usize,
+    fields: Option<&'static [&'static str]>,
+}
+
+impl Counted<'_, '_> {
+    fn seg(&self) -> Seg {
+        match self.fields.and_then(|f| f.get(self.index)) {
+            Some(name) => Seg::Name(name),
+            None => Seg::Index(self.index),
+        }
+    }
 }
 
 impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
@@ -480,7 +794,13 @@ impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
             return Ok(None);
         }
         self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
+        self.de.path.push(self.seg());
+        self.index += 1;
+        let r = seed.deserialize(&mut *self.de);
+        if r.is_ok() {
+            self.de.path.pop();
+        }
+        r.map(Some)
     }
 
     fn size_hint(&self) -> Option<usize> {
@@ -499,14 +819,25 @@ impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
             return Ok(None);
         }
         self.remaining -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
+        self.de.path.push(Seg::Index(self.index));
+        self.index += 1;
+        let r = seed.deserialize(&mut *self.de);
+        if r.is_ok() {
+            self.de.path.pop();
+        }
+        r.map(Some)
     }
 
     fn next_value_seed<V: de::DeserializeSeed<'de>>(
         &mut self,
         seed: V,
     ) -> Result<V::Value, WireError> {
-        seed.deserialize(&mut *self.de)
+        self.de.path.push(Seg::Index(self.index.saturating_sub(1)));
+        let r = seed.deserialize(&mut *self.de);
+        if r.is_ok() {
+            self.de.path.pop();
+        }
+        r
     }
 
     fn size_hint(&self) -> Option<usize> {
@@ -516,6 +847,7 @@ impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
 
 struct EnumAccess<'a, 'de> {
     de: &'a mut Decoder<'de>,
+    variants: &'static [&'static str],
 }
 
 impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
@@ -528,6 +860,10 @@ impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
     ) -> Result<(V::Value, Self), WireError> {
         let index = self.de.take_u32()?;
         let value = seed.deserialize(index.into_deserializer())?;
+        match self.variants.get(index as usize) {
+            Some(name) => self.de.path.push(Seg::Name(name)),
+            None => self.de.path.push(Seg::Index(index as usize)),
+        }
         Ok((value, self))
     }
 }
@@ -536,6 +872,7 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
     type Error = WireError;
 
     fn unit_variant(self) -> Result<(), WireError> {
+        self.de.path.pop();
         Ok(())
     }
 
@@ -543,12 +880,19 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
         self,
         seed: T,
     ) -> Result<T::Value, WireError> {
-        seed.deserialize(self.de)
+        let r = seed.deserialize(&mut *self.de);
+        if r.is_ok() {
+            self.de.path.pop();
+        }
+        r
     }
 
     fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
-        use de::Deserializer;
-        self.de.deserialize_tuple(len, visitor)
+        let r = self.de.tuple_like(len, None, visitor);
+        if r.is_ok() {
+            self.de.path.pop();
+        }
+        r
     }
 
     fn struct_variant<V: Visitor<'de>>(
@@ -556,8 +900,11 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        use de::Deserializer;
-        self.de.deserialize_tuple(fields.len(), visitor)
+        let r = self.de.tuple_like(fields.len(), Some(fields), visitor);
+        if r.is_ok() {
+            self.de.path.pop();
+        }
+        r
     }
 }
 
@@ -643,6 +990,130 @@ mod tests {
         assert!(from_bytes::<Sample>(&bytes).is_err());
     }
 
+    #[test]
+    fn errors_carry_offset_and_field_path() {
+        let v = Nested {
+            name: "n".into(),
+            values: vec![Sample::Unit, Sample::Tuple(3, "x".into())],
+            table: BTreeMap::new(),
+            hash: HashMap::new(),
+            opt: None,
+            bytes: vec![],
+        };
+        let bytes = to_bytes(&v).unwrap();
+        // Cut inside `values[1]`: after name (8+1) + values len (8) +
+        // values[0] tag (4) + values[1] tag (4) = 25, cut mid-payload.
+        let err = from_bytes::<Nested>(&bytes[..26]).unwrap_err();
+        assert!(err.offset().is_some(), "decode errors must carry an offset: {err}");
+        let ctx = err.context();
+        assert!(
+            ctx.contains("values[1]"),
+            "context should name the failing field path, got {ctx:?} ({err})"
+        );
+        assert!(ctx.starts_with("Nested"), "context should be rooted at the type: {ctx:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("at byte"), "Display should include the offset: {msg}");
+    }
+
+    #[test]
+    fn huge_length_prefix_fails_fast_without_allocation() {
+        // 8-byte prefix claiming u64::MAX elements, nothing behind it.
+        let bytes = u64::MAX.to_le_bytes();
+        let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+        assert_eq!(*err.kind(), WireErrorKind::Malformed, "{err}");
+
+        // Same for a string length prefix.
+        let err = from_bytes::<String>(&bytes).unwrap_err();
+        assert_eq!(*err.kind(), WireErrorKind::Malformed, "{err}");
+    }
+
+    #[test]
+    fn input_bytes_limit_boundary() {
+        let v = vec![1u8, 2, 3];
+        let bytes = to_bytes(&v).unwrap();
+        let mut limits = DecodeLimits { max_input_bytes: bytes.len(), ..DecodeLimits::default() };
+        assert_eq!(from_bytes_limited::<Vec<u8>>(&bytes, &limits).unwrap(), v);
+        limits.max_input_bytes = bytes.len() - 1;
+        let err = from_bytes_limited::<Vec<u8>>(&bytes, &limits).unwrap_err();
+        match err.kind() {
+            WireErrorKind::LimitExceeded { which: "input-bytes", .. } => {}
+            k => panic!("expected input-bytes limit, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_length_limit_boundary() {
+        let v = vec![7u8; 16];
+        let bytes = to_bytes(&v).unwrap();
+        let mut limits = DecodeLimits { max_len: 16, ..DecodeLimits::default() };
+        assert_eq!(from_bytes_limited::<Vec<u8>>(&bytes, &limits).unwrap(), v);
+        limits.max_len = 15;
+        let err = from_bytes_limited::<Vec<u8>>(&bytes, &limits).unwrap_err();
+        match err.kind() {
+            WireErrorKind::LimitExceeded { which: "length", limit: 15, actual: 16 } => {}
+            k => panic!("expected length limit, got {k:?}"),
+        }
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Tree {
+        Leaf,
+        Node(Box<Tree>),
+    }
+
+    fn tree(depth: usize) -> Tree {
+        let mut t = Tree::Leaf;
+        for _ in 0..depth {
+            t = Tree::Node(Box::new(t));
+        }
+        t
+    }
+
+    #[test]
+    fn depth_limit_boundary() {
+        // tree(9) nests 10 enums (9 Nodes + the Leaf).
+        let bytes = to_bytes(&tree(9)).unwrap();
+        let mut limits = DecodeLimits { max_depth: 10, ..DecodeLimits::default() };
+        assert_eq!(from_bytes_limited::<Tree>(&bytes, &limits).unwrap(), tree(9));
+        limits.max_depth = 9;
+        let err = from_bytes_limited::<Tree>(&bytes, &limits).unwrap_err();
+        match err.kind() {
+            WireErrorKind::LimitExceeded { which: "depth", limit: 9, actual: 10 } => {}
+            k => panic!("expected depth limit, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn alloc_limit_is_cumulative_across_collections() {
+        // Two 8-byte strings: 16 bytes of claimed payload in total.
+        let v = ("aaaaaaaa".to_string(), "bbbbbbbb".to_string());
+        let bytes = to_bytes(&v).unwrap();
+        let mut limits = DecodeLimits { max_alloc: 16, ..DecodeLimits::default() };
+        assert_eq!(from_bytes_limited::<(String, String)>(&bytes, &limits).unwrap(), v);
+        limits.max_alloc = 15;
+        let err = from_bytes_limited::<(String, String)>(&bytes, &limits).unwrap_err();
+        match err.kind() {
+            WireErrorKind::LimitExceeded { which: "alloc", limit: 15, actual: 16 } => {}
+            k => panic!("expected alloc limit, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_stack_overflowed() {
+        // A hostile chain of Node tags far beyond the default depth cap:
+        // must return LimitExceeded, not blow the stack.
+        let mut bytes = Vec::new();
+        for _ in 0..100_000 {
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let err = from_bytes::<Tree>(&bytes).unwrap_err();
+        match err.kind() {
+            WireErrorKind::LimitExceeded { which: "depth", .. } => {}
+            k => panic!("expected depth limit, got {k:?}"),
+        }
+    }
+
     mod robustness {
         use super::*;
         use proptest::prelude::*;
@@ -653,6 +1124,7 @@ mod tests {
                 let _ = from_bytes::<Nested>(&bytes);
                 let _ = from_bytes::<Vec<Sample>>(&bytes);
                 let _ = from_bytes::<crate::Module>(&bytes);
+                let _ = from_bytes_limited::<crate::Module>(&bytes, &DecodeLimits::admission());
             }
 
             #[test]
@@ -666,6 +1138,7 @@ mod tests {
                     let i = flip % bytes.len();
                     bytes[i] ^= 0xa5;
                     let _ = from_bytes::<crate::Module>(&bytes);
+                    let _ = from_bytes_limited::<crate::Module>(&bytes, &DecodeLimits::admission());
                 }
             }
         }

@@ -28,7 +28,8 @@ pub use icache::PredecodeCache;
 pub use mem::SandboxSnapshot;
 pub use process::{
     Checkpoint, FaultKind, Layout, LoadError, Outcome, Process, ProcessOptions, QuarantineConfig,
-    QuarantineStatus, RestoreError, RunResult, ViolationLog, ViolationPolicy, ViolationRecord,
+    QuarantineReason, QuarantineStatus, RestoreError, RunResult, ViolationLog, ViolationPolicy,
+    ViolationRecord,
 };
 pub use vm::{Event, Vm, VmError, VmState, VmStats};
 

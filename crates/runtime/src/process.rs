@@ -18,7 +18,7 @@ use mcfi_chaos::{ChaosInjector, FaultPlan, FaultPoint};
 use mcfi_machine::DecodeError;
 use mcfi_minic::types::TypeEnv;
 use mcfi_linker::build_plt_stub;
-use mcfi_module::{Module, RelocKind};
+use mcfi_module::{AdmissionError, DecodeLimits, Module, RelocKind};
 use mcfi_tables::{
     CheckError, IdTables, LeaseConfig, RetryConfig, TablesConfig, TxCounters, ViolationKind,
     WatchdogVerdict,
@@ -88,6 +88,12 @@ pub struct ProcessOptions {
     /// instructions, keeping the most recent few
     /// ([`Process::checkpoints`]).
     pub checkpoint_interval: u64,
+    /// Decode budgets applied when admitting untrusted serialized module
+    /// images ([`Process::register_library_image`] /
+    /// [`Process::load_image`]). Defaults to
+    /// [`DecodeLimits::admission`]; trusted in-memory [`Module`]s loaded
+    /// via [`Process::load`] are not subject to these limits.
+    pub admission: DecodeLimits,
 }
 
 impl Default for ProcessOptions {
@@ -100,6 +106,7 @@ impl Default for ProcessOptions {
             violation_policy: ViolationPolicy::Enforce,
             violation_log_capacity: ViolationLog::CAPACITY,
             checkpoint_interval: 0,
+            admission: DecodeLimits::admission(),
         }
     }
 }
@@ -330,6 +337,11 @@ pub struct RunResult {
     /// Libraries quarantined — banned after repeated failures or a
     /// supervisor decision (process-lifetime total).
     pub quarantines: u64,
+    /// Untrusted module images refused by the admission pipeline —
+    /// decode-budget violations, malformed wire bytes, metadata whose
+    /// offsets escape the images, or verifier rejects (process-lifetime
+    /// total; see [`RunResult::checkpoints`]).
+    pub admission_rejects: u64,
     /// Abandoned update transactions healed by the lease watchdog
     /// (tables-lifetime total; see [`RunResult::checkpoints`]).
     pub tx_lease_repairs: u64,
@@ -354,6 +366,11 @@ pub enum LoadError {
     /// Control-flow-graph regeneration over the loaded modules failed
     /// (likewise raised by fault injection).
     CfgRegen(String),
+    /// The admission pipeline refused an untrusted module image: the
+    /// wire bytes were malformed, a decode budget was exceeded, decoded
+    /// metadata did not fit the images, or the machine-code verifier
+    /// rejected the prepared module.
+    Admission(AdmissionError),
 }
 
 impl fmt::Display for LoadError {
@@ -366,6 +383,7 @@ impl fmt::Display for LoadError {
             LoadError::Mem(s) => write!(f, "loader memory fault: {s}"),
             LoadError::Rejected(s) => write!(f, "module verifier rejected the image: {s}"),
             LoadError::CfgRegen(s) => write!(f, "cfg regeneration failed: {s}"),
+            LoadError::Admission(e) => write!(f, "admission rejected the image: {e}"),
         }
     }
 }
@@ -377,6 +395,17 @@ struct LoadedModule {
     module: Module,
     code_base: u64,
     data_base: u64,
+}
+
+/// A registered library awaiting `dlopen`. Trusted callers hand the
+/// runtime an already-decoded [`Module`]; untrusted images stay as raw
+/// bytes and pass through the hardened admission pipeline (budgeted
+/// decode, structural validation, machine-code verification) at load
+/// time.
+#[derive(Clone)]
+enum LibraryEntry {
+    Decoded(Box<Module>),
+    Image(Vec<u8>),
 }
 
 /// A restorable snapshot of a process: memory image, loader state, the
@@ -399,7 +428,7 @@ pub struct Checkpoint {
     /// between-run checkpoints — restore then re-runs from the entry).
     vm: Option<VmState>,
     modules: Vec<LoadedModule>,
-    registry: HashMap<String, Module>,
+    registry: HashMap<String, LibraryEntry>,
     got: BTreeMap<String, u64>,
     plt: BTreeMap<String, u64>,
     next_code: u64,
@@ -512,6 +541,22 @@ impl Default for QuarantineConfig {
     }
 }
 
+/// Why a library entered quarantine (the machine-readable side of
+/// [`QuarantineStatus::last_error`], for supervisor policy decisions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuarantineReason {
+    /// A load attempt failed inside the transactional loader (region
+    /// exhaustion, unresolved symbols, type clashes, injected faults).
+    LoadFailed,
+    /// The admission pipeline refused the image itself: malformed wire
+    /// bytes, a decode-budget violation, metadata that escapes the
+    /// code/data images, or a machine-code verifier reject.
+    MalformedImage,
+    /// A supervisor attributed a CFI violation to the module and banned
+    /// it outright.
+    CfiViolation,
+}
+
 /// Per-library quarantine state (see [`Process::quarantine_report`]).
 #[derive(Clone, Debug)]
 pub struct QuarantineStatus {
@@ -523,6 +568,8 @@ pub struct QuarantineStatus {
     pub retry_at: u64,
     /// Whether the library is permanently banned.
     pub banned: bool,
+    /// Why the most recent failure quarantined the library.
+    pub reason: QuarantineReason,
     /// Human-readable reason for the most recent failure.
     pub last_error: String,
 }
@@ -532,6 +579,7 @@ struct QuarantineEntry {
     failures: u32,
     retry_at: u64,
     banned: bool,
+    reason: QuarantineReason,
     last_error: String,
 }
 
@@ -542,7 +590,7 @@ pub struct Process {
     mem: Sandbox,
     tables: Arc<IdTables>,
     modules: Vec<LoadedModule>,
-    registry: HashMap<String, Module>,
+    registry: HashMap<String, LibraryEntry>,
     /// symbol -> GOT slot address (for PLT-routed imports).
     got: BTreeMap<String, u64>,
     /// symbol -> PLT stub entry address.
@@ -587,6 +635,8 @@ pub struct Process {
     quarantines: u64,
     /// `dlopen`s refused without a load attempt (backoff or ban).
     quarantine_denials: u64,
+    /// Untrusted images refused by admission (process lifetime total).
+    admission_rejects: u64,
 }
 
 /// Snapshot of the loader-visible process state, taken before a dynamic
@@ -650,6 +700,7 @@ impl Process {
             quarantine_entries: HashMap::new(),
             quarantines: 0,
             quarantine_denials: 0,
+            admission_rejects: 0,
         }
     }
 
@@ -821,11 +872,15 @@ impl Process {
     /// Bans `name` outright (supervisor use: the module owned a faulting
     /// branch). Counts as a quarantine regardless of its failure history.
     pub fn quarantine_module(&mut self, name: &str, reason: &str) {
-        let entry = self
-            .quarantine_entries
-            .entry(name.to_string())
-            .or_insert(QuarantineEntry { failures: 0, retry_at: 0, banned: false, last_error: String::new() });
+        let entry = self.quarantine_entries.entry(name.to_string()).or_insert(QuarantineEntry {
+            failures: 0,
+            retry_at: 0,
+            banned: false,
+            reason: QuarantineReason::CfiViolation,
+            last_error: String::new(),
+        });
         entry.failures += 1;
+        entry.reason = QuarantineReason::CfiViolation;
         entry.last_error = reason.to_string();
         if !entry.banned {
             entry.banned = true;
@@ -844,6 +899,7 @@ impl Process {
                 failures: e.failures,
                 retry_at: e.retry_at,
                 banned: e.banned,
+                reason: e.reason,
                 last_error: e.last_error.clone(),
             })
             .collect();
@@ -874,11 +930,19 @@ impl Process {
     /// budget, a permanent ban). No-op unless quarantine is enabled.
     fn note_load_failure(&mut self, name: &str, now: u64, err: &LoadError) {
         let Some(cfg) = self.quarantine else { return };
-        let entry = self
-            .quarantine_entries
-            .entry(name.to_string())
-            .or_insert(QuarantineEntry { failures: 0, retry_at: 0, banned: false, last_error: String::new() });
+        let reason = match err {
+            LoadError::Admission(_) => QuarantineReason::MalformedImage,
+            _ => QuarantineReason::LoadFailed,
+        };
+        let entry = self.quarantine_entries.entry(name.to_string()).or_insert(QuarantineEntry {
+            failures: 0,
+            retry_at: 0,
+            banned: false,
+            reason,
+            last_error: String::new(),
+        });
         entry.failures += 1;
+        entry.reason = reason;
         entry.last_error = err.to_string();
         if entry.failures >= cfg.max_failures {
             if !entry.banned {
@@ -940,9 +1004,27 @@ impl Process {
     }
 
     /// Registers a module that `dlopen` can load later (the "file system"
-    /// of loadable libraries).
+    /// of loadable libraries). The module is trusted: it skips the
+    /// admission pipeline and loads through [`Process::load`].
     pub fn register_library(&mut self, file_name: &str, module: Module) {
-        self.registry.insert(file_name.to_string(), module);
+        self.registry.insert(file_name.to_string(), LibraryEntry::Decoded(Box::new(module)));
+    }
+
+    /// Registers an *untrusted* serialized module image that `dlopen`
+    /// can attempt to load later. The bytes are kept verbatim; at load
+    /// time they pass through the full admission pipeline —
+    /// budget-limited decode ([`ProcessOptions::admission`]), structural
+    /// validation, and the machine-code verifier — inside the usual load
+    /// transaction, so a hostile image is rejected with `dlopen`
+    /// returning 0 and the process state untouched.
+    pub fn register_library_image(&mut self, file_name: &str, image: Vec<u8>) {
+        self.registry.insert(file_name.to_string(), LibraryEntry::Image(image));
+    }
+
+    /// Untrusted images refused by the admission pipeline (process
+    /// lifetime total).
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects
     }
 
     /// Loaded modules' names and code bases (diagnostics).
@@ -1068,6 +1150,85 @@ impl Process {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Admits an *untrusted* serialized module image: decodes it under
+    /// the process's [`DecodeLimits`] budget, validates the decoded
+    /// metadata against the images, then loads it through
+    /// [`Process::load_untrusted`] (which additionally runs the
+    /// machine-code verifier inside the load transaction).
+    ///
+    /// The `malformed-image` chaos point corrupts one byte of the image
+    /// here — before decoding — so fault-injection tests exercise the
+    /// full reject → rollback → quarantine path on live loads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Admission`] when the image is refused (also
+    /// counted in [`Process::admission_rejects`]), or any ordinary
+    /// [`LoadError`] from the transactional load.
+    pub fn load_image(&mut self, mut bytes: Vec<u8>) -> Result<(), LoadError> {
+        if let Some(p) = self.chaos_fire(FaultPoint::MalformedImage) {
+            if !bytes.is_empty() {
+                let at = (p as usize) % bytes.len();
+                bytes[at] ^= 0xa5;
+            }
+        }
+        let module = match Module::decode_image(&bytes, &self.opts.admission) {
+            Ok(m) => m,
+            Err(e) => {
+                self.admission_rejects += 1;
+                return Err(LoadError::Admission(e));
+            }
+        };
+        self.load_untrusted(module)
+    }
+
+    /// Loads an already-decoded but *untrusted* module: like
+    /// [`Process::load`], but the machine-code verifier runs inside the
+    /// load transaction (after preparation, before the CFG install), so
+    /// an uninstrumented or malformed module is rejected and every state
+    /// change is rolled back.
+    ///
+    /// # Errors
+    ///
+    /// See [`Process::load`]; verifier rejects surface as
+    /// [`LoadError::Admission`] with
+    /// [`AdmissionError::VerifierReject`] and count into
+    /// [`Process::admission_rejects`].
+    pub fn load_untrusted(&mut self, module: Module) -> Result<(), LoadError> {
+        let tx = self.begin_load();
+        let result = self
+            .load_no_update(module)
+            .and_then(|()| self.verify_last_module())
+            .and_then(|()| self.finish_load());
+        if let Err(e) = result {
+            self.rollback_load(tx);
+            if matches!(e, LoadError::Admission(_)) {
+                self.admission_rejects += 1;
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Runs the machine-code verifier over the most recently prepared
+    /// module (still pristine in the module list — relocations are
+    /// applied to the sandbox copy, not the stored image).
+    fn verify_last_module(&mut self) -> Result<(), LoadError> {
+        let Some(lm) = self.modules.last() else { return Ok(()) };
+        let report = mcfi_verifier::verify(&lm.module);
+        if report.ok() {
+            return Ok(());
+        }
+        let reason = report
+            .violations
+            .iter()
+            .take(4)
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(LoadError::Admission(AdmissionError::VerifierReject { reason }))
     }
 
     fn begin_load(&self) -> LoadTx {
@@ -1429,6 +1590,7 @@ impl Process {
             checkpoints: self.checkpoints_taken,
             restores: self.restores,
             quarantines: self.quarantines,
+            admission_rejects: self.admission_rejects,
             tx_lease_repairs: tx.lease_repairs,
         }
     }
@@ -1686,13 +1848,17 @@ impl Process {
                     // running under its pre-load CFG. Under quarantine, a
                     // banned or backing-off library is refused before the
                     // load is even attempted.
-                    Some(module) => {
+                    Some(entry) => {
                         let now = vm.stats.cycles;
                         if self.quarantine_denied(&name, now) {
                             self.quarantine_denials += 1;
                             0
                         } else {
-                            match self.load(module) {
+                            let result = match entry {
+                                LibraryEntry::Decoded(module) => self.load(*module),
+                                LibraryEntry::Image(bytes) => self.load_image(bytes),
+                            };
+                            match result {
                                 Ok(()) => {
                                     self.note_load_success(&name);
                                     self.registry.remove(&name);

@@ -70,6 +70,14 @@ pub enum Violation {
         /// The offending entry.
         entry: usize,
     },
+    /// Recorded metadata points outside the module's code image — the
+    /// kind of inconsistency only a corrupt or hostile image exhibits.
+    OutOfBounds {
+        /// The offending offset.
+        offset: usize,
+        /// Which kind of metadata.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -93,6 +101,9 @@ impl fmt::Display for Violation {
             }
             Violation::JumpTableEscape { table, entry } => {
                 write!(f, "jump table at {table:#x} escapes its function via {entry:#x}")
+            }
+            Violation::OutOfBounds { offset, what } => {
+                write!(f, "{what} at {offset:#x} is outside the code image")
             }
         }
     }
@@ -140,11 +151,14 @@ pub fn verify(module: &Module) -> Report {
 
     // Jump tables are read-only data inside the code region; skip them
     // during linear disassembly.
+    // Saturating: a hostile table span must clamp, not overflow.
     let table_ranges: Vec<(usize, usize)> = module
         .aux
         .jump_tables
         .iter()
-        .map(|t| (t.table_offset, t.table_offset + 8 * t.entries.len()))
+        .map(|t| {
+            (t.table_offset, t.table_offset.saturating_add(t.entries.len().saturating_mul(8)))
+        })
         .collect();
     let in_table = |off: usize| table_ranges.iter().any(|(s, e)| off >= *s && off < *e);
 
@@ -213,13 +227,22 @@ pub fn verify(module: &Module) -> Report {
         }
     }
 
-    // Pass 3: alignment of every possible Tary target.
+    // Pass 3: alignment and bounds of every possible Tary target.
     for (name, f) in &module.functions {
-        if f.size > 0 && !(f.offset as u64).is_multiple_of(TARGET_ALIGN) {
-            let _ = name;
+        if f.size == 0 {
+            continue; // declaration: no trusted offset
+        }
+        let _ = name;
+        if !(f.offset as u64).is_multiple_of(TARGET_ALIGN) {
             report
                 .violations
                 .push(Violation::MisalignedTarget { offset: f.offset, what: "function entry" });
+        }
+        match f.offset.checked_add(f.size) {
+            Some(end) if end <= module.code.len() => {}
+            _ => report
+                .violations
+                .push(Violation::OutOfBounds { offset: f.offset, what: "function entry" }),
         }
     }
     for s in &module.aux.return_sites {
@@ -230,13 +253,19 @@ pub fn verify(module: &Module) -> Report {
             };
             report.violations.push(Violation::MisalignedTarget { offset: s.offset, what });
         }
+        if s.offset > module.code.len() {
+            report
+                .violations
+                .push(Violation::OutOfBounds { offset: s.offset, what: "return site" });
+        }
     }
 
     // Pass 4: jump tables stay inside their owning functions.
     for t in &module.aux.jump_tables {
         if let Some(f) = module.functions.get(&t.function) {
+            let end = f.offset.saturating_add(f.size);
             for e in &t.entries {
-                if *e < f.offset || *e >= f.offset + f.size {
+                if *e < f.offset || *e >= end {
                     report
                         .violations
                         .push(Violation::JumpTableEscape { table: t.table_offset, entry: *e });
