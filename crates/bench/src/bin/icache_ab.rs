@@ -55,7 +55,8 @@ const WORKLOADS: &[Workload] = &[
 
 fn boot(w: &Workload, predecode: bool) -> Process {
     let copts = CodegenOptions::default();
-    let mut p = Process::new(ProcessOptions { predecode, ..Default::default() });
+    let mut p =
+        Process::new(ProcessOptions { predecode, ..Default::default() }).expect("valid layout");
     let stubs = synth::syscall_module();
     let libms = compile_source("libms", stdlib::LIBMS_SRC, &copts).expect("libms compiles");
     let start = compile_source("start", stdlib::START_SRC, &copts).expect("start compiles");

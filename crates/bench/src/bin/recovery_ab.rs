@@ -72,7 +72,8 @@ fn prebuild() -> Prebuilt {
 /// compiling) is what a real restart would repay, so callers time this.
 fn boot(pre: &Prebuilt, checkpoint_interval: u64) -> Process {
     let mut p =
-        Process::new(ProcessOptions { checkpoint_interval, ..Default::default() });
+        Process::new(ProcessOptions { checkpoint_interval, ..Default::default() })
+            .expect("valid layout");
     p.load_all(pre.base.clone()).expect("base modules load");
     for (name, m) in &pre.libs {
         p.register_library(name, m.clone());

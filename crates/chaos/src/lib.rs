@@ -74,10 +74,18 @@ pub enum FaultPoint {
     /// hand-chosen crash sites above. Never reached in production or
     /// wall-clock test builds.
     SchedPoint,
+    /// Force-deoptimizes the baseline-compiled execution tier mid-run:
+    /// every translated block is retired back to the interpreter with
+    /// no loader activity, exercising the deopt/lazy-retranslation path
+    /// in isolation (param unused). Only reached on translated runs, so
+    /// it sits past [`RUNTIME_POINTS`] — random plans must stay
+    /// meaningful (and identical, seed for seed) on interpreter-tier
+    /// runs; arm it explicitly with [`FaultPlan::with`].
+    TransInvalidate,
 }
 
 /// Every fault point, in wire-format order.
-pub const ALL_POINTS: [FaultPoint; 10] = [
+pub const ALL_POINTS: [FaultPoint; 11] = [
     FaultPoint::UpdaterCrash,
     FaultPoint::UpdaterStall,
     FaultPoint::TornTary,
@@ -88,12 +96,16 @@ pub const ALL_POINTS: [FaultPoint; 10] = [
     FaultPoint::RestoreFail,
     FaultPoint::MalformedImage,
     FaultPoint::SchedPoint,
+    FaultPoint::TransInvalidate,
 ];
 
-/// The number of leading [`ALL_POINTS`] entries that are reachable in a
-/// production (non-model-checked) build; [`FaultPlan::random`] draws
-/// only from these so wall-clock chaos plans never waste a fault on a
-/// site that cannot fire.
+/// The number of leading [`ALL_POINTS`] entries that [`FaultPlan::random`]
+/// draws from: the sites reachable on *any* wall-clock run. The trailing
+/// points are excluded — `sched-point` only fires under the model
+/// checker's deterministic scheduler, and `trans-invalidate` only on
+/// translated-tier runs (a random plan must fire identically, seed for
+/// seed, whichever execution tier replays it). Arm those explicitly with
+/// [`FaultPlan::with`].
 const RUNTIME_POINTS: usize = 9;
 
 impl FaultPoint {
@@ -114,6 +126,7 @@ impl FaultPoint {
             FaultPoint::RestoreFail => "restore-fail",
             FaultPoint::MalformedImage => "malformed-image",
             FaultPoint::SchedPoint => "sched-point",
+            FaultPoint::TransInvalidate => "trans-invalidate",
         }
     }
 }

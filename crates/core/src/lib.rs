@@ -170,7 +170,7 @@ impl System {
         opts: &BuildOptions,
         proc_opts: ProcessOptions,
     ) -> Result<System, Error> {
-        let mut process = Process::new(proc_opts);
+        let mut process = Process::new(proc_opts).map_err(|e| Error::Load(e.to_string()))?;
         let [stubs, libms, start] = standard_modules(opts)?;
         // The startup module loads *after* the user modules so that its
         // direct call to `main` resolves without a PLT detour.

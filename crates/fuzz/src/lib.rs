@@ -257,7 +257,9 @@ pub fn check_image(bytes: &[u8], limits: &DecodeLimits) -> Result<Disposition, V
     // rollback correctness is asserted end-to-end in tests/admission.rs;
     // here the oracle is "no panic".
     let loaded = guarded("load", || {
-        let mut p = Process::new(ProcessOptions::default());
+        let Ok(mut p) = Process::new(ProcessOptions::default()) else {
+            return false;
+        };
         p.load_untrusted(module).is_ok()
     })?;
 

@@ -11,6 +11,12 @@
 //! visible and refreshed lazily for any pc the sweep did not reach
 //! (e.g. mid-instruction gadget targets).
 //!
+//! This cache is the middle rung of the execution fallback ladder
+//! *translated → `step_cached` → `step`*: when the baseline-compiled
+//! tier ([`crate::trans`]) cannot run a block at `pc` — or has been
+//! deoptimized by a generation bump — execution lands here, and only
+//! runs fully uncached when predecoding is disabled too.
+//!
 //! # Invalidation
 //!
 //! Correctness hangs on one question: *when may a memoised decoding go

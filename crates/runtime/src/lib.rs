@@ -22,9 +22,11 @@ pub mod mem;
 pub mod process;
 pub mod stdlib;
 pub mod synth;
+pub mod trans;
 pub mod vm;
 
 pub use icache::PredecodeCache;
+pub use trans::TransCache;
 pub use mem::SandboxSnapshot;
 pub use process::{
     Checkpoint, FaultKind, Layout, LoadError, Outcome, Process, ProcessOptions, QuarantineConfig,
@@ -54,7 +56,7 @@ mod tests {
     }
 
     fn boot_full(src: &str, opts: &CodegenOptions, popts: ProcessOptions) -> Process {
-        let mut p = Process::new(popts);
+        let mut p = Process::new(popts).expect("valid layout");
         let stubs = synth::syscall_module();
         let libms = compile_source("libms", stdlib::LIBMS_SRC, opts).unwrap();
         let start = compile_source("start", stdlib::START_SRC, opts).unwrap();
@@ -401,7 +403,7 @@ mod tests {
     fn loader_rejects_oversized_code() {
         let mut opts = ProcessOptions::default();
         opts.layout.code_limit = opts.layout.code_base + 256; // tiny code region
-        let mut p = Process::new(opts);
+        let mut p = Process::new(opts).expect("valid layout");
         let libms = compile("libms", stdlib::LIBMS_SRC);
         let err = p.load(libms).unwrap_err();
         assert!(matches!(err, LoadError::OutOfSpace("code")), "{err}");
@@ -409,7 +411,7 @@ mod tests {
 
     #[test]
     fn loader_rejects_bary_overflow() {
-        let mut p = Process::new(ProcessOptions { bary_capacity: 1, ..Default::default() });
+        let mut p = Process::new(ProcessOptions { bary_capacity: 1, ..Default::default() }).expect("valid layout");
         let m = compile("m", "int a(void) { return 1; }\nint b(void) { return 2; }");
         let err = p.load(m).unwrap_err();
         assert!(matches!(err, LoadError::BaryOverflow), "{err}");
@@ -419,7 +421,7 @@ mod tests {
     fn loader_rejects_unresolved_address_taken_import() {
         // Taking the address of a function no loaded module defines cannot
         // be deferred (there is no PLT for data relocations): load fails.
-        let mut p = Process::new(ProcessOptions::default());
+        let mut p = Process::new(ProcessOptions::default()).expect("valid layout");
         let m = compile(
             "m",
             "int ghost(int x);\nint (*g)(int) = ghost;\nint main(void) { return 0; }",
@@ -549,9 +551,224 @@ mod tests {
         assert_observably_identical(&cached, &uncached, "scripted-updates");
     }
 
+    /// The architectural-equality contract for the baseline-compiled
+    /// tier: everything the guest or a profiler can observe must match
+    /// the interpreter exactly; only the tier's own counters differ.
+    fn assert_arch_identical(translated: &RunResult, interpreted: &RunResult, what: &str) {
+        assert_eq!(translated.outcome, interpreted.outcome, "{what}: outcome");
+        assert_eq!(translated.steps, interpreted.steps, "{what}: steps");
+        assert_eq!(translated.cycles, interpreted.cycles, "{what}: cycles");
+        assert_eq!(translated.checks, interpreted.checks, "{what}: checks");
+        assert_eq!(translated.indirect_taken, interpreted.indirect_taken, "{what}: indirect");
+        assert_eq!(translated.stdout, interpreted.stdout, "{what}: stdout");
+        assert_eq!(translated.updates, interpreted.updates, "{what}: updates");
+        assert_eq!(translated.check_retries, interpreted.check_retries, "{what}: check retries");
+        assert_eq!(
+            interpreted.trans_dispatches, 0,
+            "{what}: interpreter runs must not touch the translated tier"
+        );
+        assert!(translated.trans_dispatches > 0, "{what}: translated runs must dispatch blocks");
+        assert!(translated.trans_translations > 0, "{what}: blocks must actually be lowered");
+    }
+
+    #[test]
+    fn translated_and_interpreted_runs_are_observably_identical() {
+        let programs: &[(&str, &str)] = &[
+            ("trivial", "int main(void) { return 42; }"),
+            (
+                "fib",
+                "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+                 int main(void) { return fib(12); }",
+            ),
+            (
+                "indirect",
+                "int twice(int x) { return x * 2; }\n\
+                 int main(void) { int (*f)(int); f = &twice; return f(21); }",
+            ),
+            (
+                "switch",
+                "int classify(int x) {\n\
+                   switch (x) { case 0: return 10; case 1: return 20; default: return -1; }\n\
+                   return 0;\n\
+                 }\n\
+                 int main(void) { return classify(1) + classify(7); }",
+            ),
+            (
+                "stdout",
+                "int puts(char* s);\nint main(void) { puts(\"hello mcfi\"); return 0; }",
+            ),
+            (
+                "violation",
+                "float fsq(float x) { return x * x; }\n\
+                 int main(void) {\n\
+                   void* raw = (void*)&fsq;\n\
+                   int (*f)(int) = (int(*)(int))raw;\n\
+                   return f(3);\n\
+                 }",
+            ),
+        ];
+        for (name, src) in programs {
+            let opts = CodegenOptions::default();
+            let translated =
+                boot_full(src, &opts, ProcessOptions { translate: true, ..Default::default() })
+                    .run("__start")
+                    .unwrap();
+            let interpreted = boot_full(src, &opts, ProcessOptions::default())
+                .run("__start")
+                .unwrap();
+            assert_arch_identical(&translated, &interpreted, name);
+        }
+    }
+
+    #[test]
+    fn translated_scripted_updates_are_identical_to_interpreted() {
+        // Version churn is the TxCheck fast path's worst case: inside
+        // every update window the Bary and Tary words disagree, the
+        // specialized check misses, and the slow path (single-step
+        // interpretation, guest retry loop) must replay exactly.
+        let src = "int work(int x) { return x * 2 + 1; }\n\
+                   int main(void) {\n\
+                     int acc = 0; int i = 0;\n\
+                     int (*f)(int) = &work;\n\
+                     while (i < 500) { acc = acc + f(i); i = i + 1; }\n\
+                     return acc % 97;\n\
+                   }";
+        let run_mode = |translate: bool| {
+            boot_full(
+                src,
+                &CodegenOptions::default(),
+                ProcessOptions { translate, ..Default::default() },
+            )
+            .run_with_updates("__start", 5_000, 200)
+            .unwrap()
+        };
+        let translated = run_mode(true);
+        let interpreted = run_mode(false);
+        assert!(translated.updates > 0, "the scripted updater must fire");
+        assert_arch_identical(&translated, &interpreted, "scripted-updates");
+        assert!(
+            translated.trans_fallbacks > 0,
+            "update windows must force specialized-check misses"
+        );
+    }
+
+    #[test]
+    fn dlopen_mid_run_deopts_and_lazily_retranslates() {
+        // The deopt boundary: dlopen bumps the sandbox generation while
+        // translated blocks are live, which must retire them all; the
+        // post-load code (PLT re-binding included) then retranslates
+        // lazily — and the whole thing stays byte-identical to the
+        // interpreter.
+        let src = "int provided(int x);\n\
+                   int dlopen(char* name);\n\
+                   int spin(int n) { int a = 0; int i = 0;\n\
+                     while (i < n) { a = a + i; i = i + 1; } return a; }\n\
+                   int main(void) {\n\
+                     int warm = spin(200);\n\
+                     int ok = dlopen(\"libm2\");\n\
+                     if (!ok) { return -1; }\n\
+                     int r = provided(5) + spin(100) - warm;\n\
+                     return r % 125;\n\
+                   }";
+        let run_mode = |translate: bool| {
+            let lib = compile("libm2", "int provided(int x) { return x + 100; }");
+            let mut p = boot_full(
+                src,
+                &CodegenOptions::default(),
+                ProcessOptions { translate, ..Default::default() },
+            );
+            p.register_library("libm2", lib);
+            p.run("__start").unwrap()
+        };
+        let translated = run_mode(true);
+        let interpreted = run_mode(false);
+        assert_arch_identical(&translated, &interpreted, "dlopen-deopt");
+        assert!(
+            translated.trans_deopts >= 1,
+            "dlopen must retire live translated blocks, got {} deopts",
+            translated.trans_deopts
+        );
+        assert!(
+            translated.trans_retranslations >= 1,
+            "post-dlopen execution must retranslate lazily, got {}",
+            translated.trans_retranslations
+        );
+    }
+
+    #[test]
+    fn trans_invalidate_chaos_point_forces_mid_run_deopt() {
+        use mcfi_chaos::{FaultPlan, FaultPoint};
+        // The `puts` in the middle is load-bearing: its syscall breaks
+        // the dispatch chain, so the run has a second translated
+        // loop-top where the armed fault can fire with blocks live.
+        let src = "int puts(char* s);\n\
+                   int main(void) {\n\
+                     int acc = 0; int i = 0;\n\
+                     while (i < 150) { acc = acc + i; i = i + 1; }\n\
+                     puts(\"mid\");\n\
+                     while (i < 300) { acc = acc + i; i = i + 1; }\n\
+                     return acc % 89;\n\
+                   }";
+        let run_mode = |translate: bool| {
+            let mut p = boot_full(
+                src,
+                &CodegenOptions::default(),
+                ProcessOptions { translate, ..Default::default() },
+            );
+            // Force-deopt on the second translated loop-top: after the
+            // first chain has translated blocks, so they are live.
+            p.arm_chaos(FaultPlan::new().with(FaultPoint::TransInvalidate, 2, 0));
+            p.run("__start").unwrap()
+        };
+        let translated = run_mode(true);
+        let interpreted = run_mode(false);
+        assert_arch_identical(&translated, &interpreted, "trans-invalidate");
+        assert!(
+            translated.trans_deopts >= 1,
+            "the chaos point must retire live blocks, got {} deopts",
+            translated.trans_deopts
+        );
+        assert!(
+            translated.trans_retranslations >= 1,
+            "the loop must retranslate after the forced deopt, got {}",
+            translated.trans_retranslations
+        );
+    }
+
+    #[test]
+    fn restored_uncached_run_reports_zero_cache_counters() {
+        // Regression: a checkpoint captured during a cached run stores
+        // the VM stats — icache counters included — inside its VmState.
+        // Restoring it and resuming under a configuration that never
+        // touches a cache (here the always-uncached attacker driver)
+        // used to report the stale counters; the run loop must zero
+        // whatever its own configuration cannot produce.
+        let src = "int main(void) {\n\
+                     int acc = 0; int i = 0;\n\
+                     while (i < 2000) { acc = acc + i; i = i + 1; }\n\
+                     return acc % 101;\n\
+                   }";
+        let mut p = boot_full(
+            src,
+            &CodegenOptions::default(),
+            ProcessOptions { checkpoint_interval: 1_000, ..Default::default() },
+        );
+        let first = p.run("__start").unwrap();
+        assert!(first.icache_hits > 0, "the cached run must hit");
+        assert!(p.checkpoints_taken() > 0, "the run must checkpoint");
+        let cp = p.checkpoints().last().expect("checkpoint captured").clone();
+        p.restore(&cp).expect("restore succeeds");
+        let resumed = p.run_with_attacker("__start", |_, _, _| {}).unwrap();
+        assert_eq!(resumed.outcome, first.outcome, "resumed run finishes the program");
+        assert_eq!(resumed.icache_hits, 0, "uncached resumption must report zero hits");
+        assert_eq!(resumed.icache_misses, 0, "uncached resumption must report zero misses");
+        assert_eq!(resumed.trans_dispatches, 0, "untranslated resumption: zero dispatches");
+    }
+
     #[test]
     fn step_limit_terminates_infinite_loops() {
-        let mut p = Process::new(ProcessOptions { max_steps: 10_000, ..Default::default() });
+        let mut p = Process::new(ProcessOptions { max_steps: 10_000, ..Default::default() })
+            .expect("valid layout");
         let stubs = synth::syscall_module();
         let libms = compile("libms", stdlib::LIBMS_SRC);
         let start = compile("start", stdlib::START_SRC);

@@ -27,6 +27,7 @@ use mcfi_tables::{
 use crate::icache::PredecodeCache;
 use crate::mem::{MemFault, Perm, Sandbox, SandboxSnapshot};
 use crate::synth::Sys;
+use crate::trans::{Dispatch, TransCache};
 use crate::vm::{Event, Vm, VmError, VmState};
 
 /// Address-space layout of a process.
@@ -77,6 +78,16 @@ pub struct ProcessOptions {
     /// per-step decoding. [`Process::run_with_attacker`] always runs
     /// uncached, since the attacker rewrites raw memory between steps.
     pub predecode: bool,
+    /// Whether [`Process::run`] and [`Process::run_with_updates`]
+    /// execute through the baseline-compiled tier (see [`crate::trans`]):
+    /// basic blocks are lowered to threaded-code form with the Fig. 4
+    /// check transaction specialized per indirect-branch site, and any
+    /// sandbox generation bump deoptimizes back to the interpreter.
+    /// Architecturally invisible; off by default so interpreter-tier
+    /// A/B baselines (and their cache-counter contracts) are unchanged.
+    /// [`Process::run_with_attacker`] always interprets, for the same
+    /// reason it runs uncached.
+    pub translate: bool,
     /// What to do when a check transaction halts the program.
     pub violation_policy: ViolationPolicy,
     /// Capacity of the audited-violation log (records kept verbatim
@@ -103,6 +114,7 @@ impl Default for ProcessOptions {
             max_steps: 500_000_000,
             bary_capacity: 1 << 16,
             predecode: true,
+            translate: false,
             violation_policy: ViolationPolicy::Enforce,
             violation_log_capacity: ViolationLog::CAPACITY,
             checkpoint_interval: 0,
@@ -345,11 +357,28 @@ pub struct RunResult {
     /// Abandoned update transactions healed by the lease watchdog
     /// (tables-lifetime total; see [`RunResult::checkpoints`]).
     pub tx_lease_repairs: u64,
+    /// Translated blocks dispatched by the baseline-compiled tier
+    /// (zero on untranslated runs; see [`crate::trans`]).
+    pub trans_dispatches: u64,
+    /// Basic blocks lowered to threaded-code form during the run.
+    pub trans_translations: u64,
+    /// Translations performed after at least one deoptimization — the
+    /// lazy re-translation work a generation bump forces.
+    pub trans_retranslations: u64,
+    /// Deoptimization events: generation bumps (dlopen, chaos) that
+    /// retired live translated blocks back to the interpreter.
+    pub trans_deopts: u64,
+    /// Dispatches that fell back to single-step interpretation.
+    pub trans_fallbacks: u64,
 }
 
 /// A loading/linking failure.
 #[derive(Clone, PartialEq, Debug)]
 pub enum LoadError {
+    /// The configured [`Layout`] is inconsistent (overlapping or
+    /// inverted regions, GOT area outside the data region): rejected at
+    /// [`Process::new`] instead of panicking mid-construction.
+    Layout(&'static str),
     /// The regions are exhausted.
     OutOfSpace(&'static str),
     /// An absolute-address relocation referenced an undefined symbol.
@@ -376,6 +405,7 @@ pub enum LoadError {
 impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            LoadError::Layout(what) => write!(f, "inconsistent layout: {what}"),
             LoadError::OutOfSpace(what) => write!(f, "{what} region exhausted"),
             LoadError::Unresolved(s) => write!(f, "unresolved symbol `{s}`"),
             LoadError::TypeClash(s) => write!(f, "type clash: {s}"),
@@ -611,6 +641,10 @@ pub struct Process {
     /// Predecoded-instruction cache for the cached run loops. Kept on
     /// the process so its side-tables survive across consecutive runs.
     icache: PredecodeCache,
+    /// Translated-block cache of the baseline-compiled tier (see
+    /// [`crate::trans`]); like the icache it survives across runs and
+    /// deoptimizes on any sandbox generation bump.
+    trans: TransCache,
     /// Armed fault injector, shared with the tables (see [`mcfi_chaos`]).
     chaos: Option<Arc<ChaosInjector>>,
     /// Dynamic loads rolled back after a mid-`dlopen` failure.
@@ -655,22 +689,58 @@ struct LoadTx {
     env: TypeEnv,
 }
 
+/// Rejects inconsistent [`Layout`]s before any of their arithmetic runs:
+/// every subtraction below is used unchecked by the constructor and the
+/// loader, and the GOT reservation (`data_base .. data_base + 0x1000`)
+/// must sit inside the mapped data region so `install_policy`'s GOT
+/// writes are infallible by construction.
+fn validate_layout(l: &Layout) -> Result<(), LoadError> {
+    if l.code_base > l.code_limit {
+        return Err(LoadError::Layout("code_base above code_limit"));
+    }
+    if l.code_limit > l.data_base {
+        return Err(LoadError::Layout("code region overlaps the data region"));
+    }
+    if l.data_base.checked_add(0x1000).is_none_or(|got_end| got_end > l.heap_base) {
+        return Err(LoadError::Layout("no room for the GOT area below heap_base"));
+    }
+    if l.heap_base > l.heap_limit {
+        return Err(LoadError::Layout("heap_base above heap_limit"));
+    }
+    if l.stack_size > l.stack_top {
+        return Err(LoadError::Layout("stack_size exceeds stack_top"));
+    }
+    if l.heap_limit > l.stack_top - l.stack_size {
+        return Err(LoadError::Layout("heap overlaps the stack region"));
+    }
+    Ok(())
+}
+
 impl Process {
     /// Creates an empty process.
-    pub fn new(opts: ProcessOptions) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Layout`] when the configured [`Layout`] is
+    /// inconsistent (inverted or overlapping regions, no room for the
+    /// GOT inside the data region) and [`LoadError::Mem`] when the
+    /// sandbox refuses a region mapping — a mis-laid-out process is an
+    /// admission failure, not a host abort.
+    pub fn new(opts: ProcessOptions) -> Result<Self, LoadError> {
         let l = opts.layout;
+        validate_layout(&l)?;
         let mut mem = Sandbox::new(l.stack_top as usize);
         mem.map(l.data_base, l.heap_limit - l.data_base, Perm::Rw)
-            .expect("data region fits the sandbox");
+            .map_err(|e| LoadError::Mem(format!("mapping the data region: {e}")))?;
         mem.map(l.stack_top - l.stack_size, l.stack_size, Perm::Rw)
-            .expect("stack region fits the sandbox");
+            .map_err(|e| LoadError::Mem(format!("mapping the stack region: {e}")))?;
         let tables = Arc::new(IdTables::new(TablesConfig {
             code_size: l.code_limit as usize,
             bary_slots: opts.bary_capacity,
         }));
         // Reserve a GOT area at the start of the data region.
         let got_area = l.data_base;
-        Process {
+        Ok(Process {
             opts,
             mem,
             tables,
@@ -689,6 +759,7 @@ impl Process {
             updates: 0,
             cycles_shared: Arc::new(AtomicU64::new(0)),
             icache: PredecodeCache::new(),
+            trans: TransCache::new(),
             chaos: None,
             load_rollbacks: 0,
             violations: ViolationLog::with_capacity(opts.violation_log_capacity),
@@ -701,7 +772,7 @@ impl Process {
             quarantines: 0,
             quarantine_denials: 0,
             admission_rejects: 0,
-        }
+        })
     }
 
     /// Arms deterministic fault injection over this process and its ID
@@ -1519,8 +1590,14 @@ impl Process {
         let mem = &mut self.mem;
         self.tables.update_with(tary, bary, || {
             for (slot, addr) in &got_writes {
-                mem.load_image(*slot, &addr.to_le_bytes())
-                    .expect("GOT slots live in the mapped data region");
+                // Infallible by construction: `validate_layout` pins the
+                // GOT area inside the mapped data region and `got_slot`
+                // bounds every slot within it. A failure here would be a
+                // runtime bug, not hostile input — tolerate it (the slot
+                // keeps its previous binding) rather than aborting the
+                // host mid-update-transaction.
+                let wrote = mem.load_image(*slot, &addr.to_le_bytes()).is_ok();
+                debug_assert!(wrote, "GOT slot escaped the mapped data region");
             }
         });
         self.updates += 1;
@@ -1592,6 +1669,11 @@ impl Process {
             quarantines: self.quarantines,
             admission_rejects: self.admission_rejects,
             tx_lease_repairs: tx.lease_repairs,
+            trans_dispatches: vm.stats.trans_dispatches,
+            trans_translations: vm.stats.trans_translations,
+            trans_retranslations: vm.stats.trans_retranslations,
+            trans_deopts: vm.stats.trans_deopts,
+            trans_fallbacks: vm.stats.trans_fallbacks,
         }
     }
 
@@ -1662,6 +1744,28 @@ impl Process {
         // cache stays valid under scripted updates; only the attacker
         // (who rewrites raw memory between steps) forces uncached runs.
         let cached = self.opts.predecode && !matches!(driver, Driver::Attacker(_));
+        // The translated tier memoises decoded code the same way, with
+        // the same attacker exception; it deoptimizes on any sandbox
+        // generation bump (dlopen, chaos) back to the interpreter.
+        let translated = self.opts.translate && !matches!(driver, Driver::Attacker(_));
+
+        // A checkpoint restore hands `start_vm` the stats of the run
+        // that *captured* it — including cache/tier counters a
+        // differently-configured resumption never touches. Zero whatever
+        // this run's configuration cannot produce, so an uncached run
+        // reports 0 hits/misses instead of a stale snapshot.
+        if !cached {
+            vm.stats.icache_hits = 0;
+            vm.stats.icache_misses = 0;
+            vm.stats.icache_invalidations = 0;
+        }
+        if !translated {
+            vm.stats.trans_dispatches = 0;
+            vm.stats.trans_translations = 0;
+            vm.stats.trans_retranslations = 0;
+            vm.stats.trans_deopts = 0;
+            vm.stats.trans_fallbacks = 0;
+        }
 
         let tables = Arc::clone(&self.tables);
         let mut in_flight: Option<mcfi_tables::SplitBump<'_>> = None;
@@ -1672,6 +1776,11 @@ impl Process {
         let mut commit_at = 0u64;
         let cp_interval = self.opts.checkpoint_interval;
         let mut next_checkpoint = vm.stats.steps.saturating_add(cp_interval);
+        // Publication epoch for `cycles_shared` (steps / 1024). Epoch
+        // comparison rather than `is_multiple_of`, because translated
+        // blocks advance `steps` by more than one and would otherwise
+        // skip over the exact multiples.
+        let mut pub_epoch = u64::MAX;
 
         let outcome = loop {
             if vm.stats.steps >= self.opts.max_steps {
@@ -1700,10 +1809,53 @@ impl Process {
                     }
                 }
             }
-            if vm.stats.steps.is_multiple_of(1024) {
+            let epoch = vm.stats.steps >> 10;
+            if epoch != pub_epoch {
+                pub_epoch = epoch;
                 self.cycles_shared.store(vm.stats.cycles, Ordering::Relaxed);
             }
-            let stepped = if cached {
+            let stepped = if translated {
+                // The chaos point that forces a mid-run deopt with no
+                // loader activity (`trans-invalidate`).
+                if self.chaos_fire(FaultPoint::TransInvalidate).is_some() {
+                    self.trans.force_deopt();
+                }
+                // Ceilings that keep every loop-top decision above on
+                // its exact instruction boundary: a block may finish
+                // *on* a threshold (the next loop-top acts, exactly as
+                // the interpreter's would) but never cross one.
+                let step_limit = if cp_interval > 0 {
+                    self.opts.max_steps.min(next_checkpoint)
+                } else {
+                    self.opts.max_steps
+                };
+                let cycle_limit = match &driver {
+                    Driver::Scripted { .. } => {
+                        if in_flight.is_some() {
+                            commit_at
+                        } else {
+                            next_update
+                        }
+                    }
+                    _ => u64::MAX,
+                };
+                match self.trans.dispatch(&mut vm, &mut self.mem, &tables, step_limit, cycle_limit)
+                {
+                    Ok(Dispatch::Ran(ev)) => Ok(ev),
+                    // The fallback ladder: translated → step_cached →
+                    // step. A dispatch that could not run a block takes
+                    // exactly one interpreter step, so the loop always
+                    // makes progress.
+                    Ok(Dispatch::Interp) => {
+                        if cached {
+                            vm.step_cached(&mut self.mem, &self.tables, &mut self.icache)
+                        } else {
+                            vm.step(&mut self.mem, &self.tables)
+                        }
+                    }
+                    Err(e) => Err(e),
+                }
+            } else if cached {
                 vm.step_cached(&mut self.mem, &self.tables, &mut self.icache)
             } else {
                 vm.step(&mut self.mem, &self.tables)

@@ -179,9 +179,11 @@ mod tests {
         let m = syscall_module();
         for b in &m.aux.indirect_branches {
             assert!(matches!(b.kind, BranchKind::Return { .. }));
-            let (inst, _) = mcfi_machine::decode(&m.code, b.check_offset).unwrap();
+            let (inst, _) = mcfi_machine::decode(&m.code, b.check_offset)
+                .expect("stub check_offset decodes inside the emitted code");
             assert!(matches!(inst, Inst::BaryLoad { .. }));
-            let (inst, _) = mcfi_machine::decode(&m.code, b.branch_offset).unwrap();
+            let (inst, _) = mcfi_machine::decode(&m.code, b.branch_offset)
+                .expect("stub branch_offset decodes inside the emitted code");
             assert!(matches!(inst, Inst::JmpReg { reg: Reg::Rcx }));
         }
     }

@@ -102,6 +102,21 @@ pub struct VmStats {
     /// instrumented code spins invisibly to the host tables' own retry
     /// counter, so the VM counts these itself.
     pub check_retries: u64,
+    /// Translated blocks dispatched by the baseline-compiled tier
+    /// (zero on untranslated runs; see [`crate::trans`]).
+    pub trans_dispatches: u64,
+    /// Basic blocks lowered to threaded-code form.
+    pub trans_translations: u64,
+    /// Translations performed after at least one deoptimization — the
+    /// lazy re-translation work a generation bump forces.
+    pub trans_retranslations: u64,
+    /// Deoptimization events: sandbox generation bumps that retired
+    /// live translated blocks back to the `step_cached` interpreter.
+    pub trans_deopts: u64,
+    /// Dispatches that fell back to single-step interpretation (no
+    /// block at pc, a block would cross an interpreter-visible boundary,
+    /// or a specialized TxCheck fast path missed).
+    pub trans_fallbacks: u64,
 }
 
 /// The machine state.
@@ -112,17 +127,17 @@ pub struct Vm {
     /// Program counter.
     pub pc: u64,
     /// Signed comparison result: `<0`, `0`, `>0`.
-    flags: i64,
+    pub(crate) flags: i64,
     /// Statistics.
     pub stats: VmStats,
     /// Bary slot of the most recent `BaryLoad` (the check sequence loads
     /// the branch ID first).
-    last_bary: Option<usize>,
+    pub(crate) last_bary: Option<usize>,
     /// `(bary_slot, target)` of the most recent completed check-sequence
     /// load pair. Cleared by every successful indirect transfer, so at a
     /// `Hlt` it identifies the *failed* check — `None` at a `Hlt` means a
     /// deliberate halt, not a violation.
-    last_check: Option<(usize, u64)>,
+    pub(crate) last_check: Option<(usize, u64)>,
 }
 
 /// An opaque snapshot of the complete machine state ([`Vm::snapshot`]).
@@ -197,15 +212,15 @@ impl Vm {
         self.last_check.take()
     }
 
-    fn reg(&self, r: Reg) -> u64 {
+    pub(crate) fn reg(&self, r: Reg) -> u64 {
         self.regs[r.nibble() as usize]
     }
 
-    fn set_reg(&mut self, r: Reg, v: u64) {
+    pub(crate) fn set_reg(&mut self, r: Reg, v: u64) {
         self.regs[r.nibble() as usize] = v;
     }
 
-    fn cond(&self, cc: Cond) -> bool {
+    pub(crate) fn cond(&self, cc: Cond) -> bool {
         match cc {
             Cond::Eq => self.flags == 0,
             Cond::Ne => self.flags != 0,
@@ -216,14 +231,14 @@ impl Vm {
         }
     }
 
-    fn push(&mut self, mem: &mut Sandbox, v: u64) -> Result<(), VmError> {
+    pub(crate) fn push(&mut self, mem: &mut Sandbox, v: u64) -> Result<(), VmError> {
         let sp = self.reg(Reg::Rsp).wrapping_sub(8);
         mem.write64(sp, v)?;
         self.set_reg(Reg::Rsp, sp);
         Ok(())
     }
 
-    fn pop(&mut self, mem: &Sandbox) -> Result<u64, VmError> {
+    pub(crate) fn pop(&mut self, mem: &Sandbox) -> Result<u64, VmError> {
         let sp = self.reg(Reg::Rsp);
         let v = mem.read64(sp)?;
         self.set_reg(Reg::Rsp, sp + 8);
@@ -270,7 +285,7 @@ impl Vm {
 
     /// Applies one already-fetched instruction to the machine state.
     #[inline]
-    fn execute(
+    pub(crate) fn execute(
         &mut self,
         mem: &mut Sandbox,
         tables: &IdTables,

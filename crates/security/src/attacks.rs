@@ -69,7 +69,7 @@ int main(void) {
 /// fixed, so that is a bug, not an input condition.
 pub fn run_fptr_hijack(policy: PolicyKind) -> AttackResult {
     let opts = CodegenOptions::default();
-    let mut p = Process::new(ProcessOptions::default());
+    let mut p = Process::new(ProcessOptions::default()).expect("valid layout");
     let stubs = synth::syscall_module();
     let libms = compile_source("libms", stdlib::LIBMS_SRC, &opts).expect("libms compiles");
     let start = compile_source("start", stdlib::START_SRC, &opts).expect("start compiles");

@@ -268,7 +268,7 @@ mod tests {
     }
 
     fn boot(src: &str, popts: ProcessOptions) -> Process {
-        let mut p = Process::new(popts);
+        let mut p = Process::new(popts).expect("valid layout");
         let stubs = synth::syscall_module();
         let libms = compile("libms", stdlib::LIBMS_SRC);
         let start = compile("start", stdlib::START_SRC);

@@ -163,12 +163,14 @@ fn every_truncation_of_a_real_image_is_rejected_cleanly() {
 fn decode_limits_are_exact_at_the_boundary_end_to_end() {
     let image = lib_image("libb", "int b_fn(int v) { return v - 7; }");
     let exact = DecodeLimits { max_input_bytes: image.len(), ..DecodeLimits::admission() };
-    let mut p = Process::new(ProcessOptions { admission: exact, ..Default::default() });
+    let mut p = Process::new(ProcessOptions { admission: exact, ..Default::default() })
+        .expect("valid layout");
     p.load_image(image.clone()).expect("the exact input budget admits the image");
 
     let tight =
         DecodeLimits { max_input_bytes: image.len() - 1, ..DecodeLimits::admission() };
-    let mut p = Process::new(ProcessOptions { admission: tight, ..Default::default() });
+    let mut p = Process::new(ProcessOptions { admission: tight, ..Default::default() })
+        .expect("valid layout");
     let err = p.load_image(image).expect_err("one byte under must reject");
     match err {
         LoadError::Admission(AdmissionError::LimitExceeded { which, limit, actual }) => {

@@ -30,8 +30,19 @@ const STEP_BUDGET: u64 = 12_000_000;
 /// One instrumented run: boot, arm the plan, run with scripted updates,
 /// return the report plus the two chaos-visible logs.
 fn observe(src: &str, predecode: bool, plan: FaultPlan) -> (RunResult, Vec<String>, Vec<String>) {
+    observe_tier(src, predecode, false, plan)
+}
+
+/// Like [`observe`], but also selecting the baseline-compiled tier.
+fn observe_tier(
+    src: &str,
+    predecode: bool,
+    translate: bool,
+    plan: FaultPlan,
+) -> (RunResult, Vec<String>, Vec<String>) {
     let proc_opts = ProcessOptions {
         predecode,
+        translate,
         max_steps: STEP_BUDGET,
         violation_policy: ViolationPolicy::Audit,
         ..Default::default()
@@ -75,6 +86,32 @@ fn assert_differential(what: &str, src: &str, seed: u64) {
     assert!(on.icache_hits > 0, "{what}: cached run must actually hit");
 }
 
+/// The translation equality contract: same observables as
+/// [`assert_differential`], with the cache clause swapped for the
+/// tier's — the interpreted arm must never dispatch a translated block,
+/// the translated arm must actually run on the tier. Both arms fetch
+/// through the predecode cache, so the only variable is translation.
+fn assert_translation_differential(what: &str, src: &str, seed: u64) {
+    let plan = FaultPlan::random(seed, 4);
+    let (trans, log_t, fired_t) = observe_tier(src, true, true, plan.clone());
+    let (interp, log_i, fired_i) = observe_tier(src, true, false, plan);
+
+    assert_eq!(trans.outcome, interp.outcome, "{what}: outcome");
+    assert_eq!(trans.stdout, interp.stdout, "{what}: stdout");
+    assert_eq!(trans.steps, interp.steps, "{what}: steps");
+    assert_eq!(trans.cycles, interp.cycles, "{what}: cycles");
+    assert_eq!(trans.checks, interp.checks, "{what}: checks");
+    assert_eq!(trans.indirect_taken, interp.indirect_taken, "{what}: indirect branches");
+    assert_eq!(trans.updates, interp.updates, "{what}: updates");
+    assert_eq!(trans.check_retries, interp.check_retries, "{what}: guest check retries");
+    assert_eq!(trans.audited_violations, interp.audited_violations, "{what}: audited violations");
+    assert_eq!(log_t, log_i, "{what}: violation log");
+    assert_eq!(fired_t, fired_i, "{what}: fired faults");
+
+    assert_eq!(interp.trans_dispatches, 0, "{what}: interpreted run must not use the tier");
+    assert!(trans.trans_dispatches > 0, "{what}: translated run must dispatch blocks");
+}
+
 /// The full matrix: all twelve workloads under seeds 1–3 each. The
 /// workloads are the `Fixed` variant (clean under MCFI), so the audit
 /// logs stay empty unless a fault corrupts a table — which is exactly
@@ -86,6 +123,26 @@ fn workloads_are_predecode_invariant_under_chaos() {
         for k in 1..=3u64 {
             assert_differential(
                 &format!("{bench} seed {k}"),
+                &src,
+                seed_base() + k,
+            );
+        }
+    }
+}
+
+/// The translated-tier sweep: the same twelve workloads under seeds
+/// 1–3, baseline-compiled vs interpreted. Scripted update windows force
+/// specialized TxChecks onto the slow path mid-run, and the random
+/// fault plans corrupt tables under both arms identically (they draw
+/// from the runtime points only, so a plan never force-deopts the tier
+/// asymmetrically). Byte-identical observables prove the tier exact.
+#[test]
+fn workloads_are_translation_invariant_under_chaos() {
+    for bench in BENCHMARKS {
+        let src = source(bench, Variant::Fixed);
+        for k in 1..=3u64 {
+            assert_translation_differential(
+                &format!("{bench} seed {k} (translated)"),
                 &src,
                 seed_base() + k,
             );
@@ -117,6 +174,27 @@ fn violating_program_audit_logs_are_predecode_invariant() {
         assert!(on.audited_violations >= 60, "seed {seed}: every hijacked call audited");
         assert_eq!(log_on, log_off, "seed {seed}: violation log");
         assert_eq!(fired_on, fired_off, "seed {seed}: fired faults");
+    }
+}
+
+/// The violating program again, baseline-compiled vs interpreted: the
+/// tier's specialized fast path must reject exactly the calls the
+/// interpreter's full TxCheck rejects, record for record. (The hijacked
+/// calls miss the fast path — bary and tary words disagree — so every
+/// violation is observed by the interpreter's slow path in both arms.)
+#[test]
+fn violating_program_audit_logs_are_translation_invariant() {
+    let src = "float g(float x) { return x; }\n\
+         int main(void) {\n\
+           void* raw = (void*)&g;\n\
+           int (*f)(int) = (int(*)(int))raw;\n\
+           int acc = 0; int i = 0;\n\
+           while (i < 60) { acc = acc + f(i); i = i + 1; }\n\
+           return 7;\n\
+         }";
+    for k in 1..=3u64 {
+        let seed = seed_base() + k;
+        assert_translation_differential(&format!("violating seed {seed} (translated)"), src, seed);
     }
 }
 
