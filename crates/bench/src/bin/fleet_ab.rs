@@ -1,0 +1,231 @@
+//! A/B benchmark for the fleet supervision tree: aggregate guest
+//! throughput and shed rate versus fleet size, with and without a chaos
+//! storm blowing through every tenant.
+//!
+//! For each fleet size the same dlopen-heavy tenants are driven through
+//! the same request budget twice:
+//!
+//! - **plain**: no chaos armed — every request serves;
+//! - **storm**: a seeded [`Storm`] fans an independent fault plan across
+//!   each tenant; the restart/breaker machinery eats some of the budget
+//!   in sheds and reboots.
+//!
+//! Emits `BENCH_fleet.json` (through the in-tree `serde_json` shim, so
+//! the artifact shape is exactly the `FleetStats`-derived rows) and
+//! exits non-zero if storm throughput drops below a fixed fraction of
+//! the plain baseline at any size — chaos must degrade the fleet, not
+//! collapse it.
+
+use std::time::Instant;
+
+use mcfi::{
+    compile_module, Backoff, BuildOptions, Fleet, FleetOptions, Module, ProcessOptions,
+    RecoveryPolicy, RestartStrategy, Schedule, Storm, StormKind, TenantSpec, ViolationPolicy,
+};
+use serde::Serialize;
+
+const SIZES: [usize; 3] = [2, 4, 8];
+const REQUESTS_PER_TENANT: u64 = 40;
+const STORM_SEED: u64 = 2014;
+const FAULTS_PER_TENANT: usize = 4;
+/// Storm throughput below this fraction of plain fails the bench.
+const FLOOR: f64 = 0.20;
+
+/// The guest: one loader round-trip (dlopen/dlsym, with a clean
+/// fallback when a storm denies the load) plus a compute loop, so
+/// throughput measures guest work, not just syscall dispatch.
+const GUEST: &str = "int dlopen(char* name);\n\
+     void* dlsym(char* name);\n\
+     int main(void) {\n\
+       int ok = dlopen(\"util\");\n\
+       int (*f)(int) = (int(*)(int))dlsym(\"util_fn\");\n\
+       int s = 0; int i = 0;\n\
+       while (i < 2000) { s = s + i * 3 - (s / 7); i = i + 1; }\n\
+       if (f) { return (s + f(ok)) % 97; }\n\
+       return (s + 33) % 97;\n\
+     }";
+
+/// One tenant per fleet runs this instead: an enforced CFI violation
+/// every request, driving the restart → intensity-ban → shed pipeline
+/// so the bench exercises (and prices) the supervision tree itself, in
+/// both the plain and storm variants.
+const CRASHER: &str = "float fsq(float x) { return x * x; }\n\
+     int main(void) {\n\
+       void* raw = (void*)&fsq;\n\
+       int (*f)(int) = (int(*)(int))raw;\n\
+       return f(3);\n\
+     }";
+
+#[derive(Serialize)]
+struct Row {
+    tenants: u64,
+    variant: String,
+    requests: u64,
+    served: u64,
+    shed: u64,
+    restarts: u64,
+    bans: u64,
+    steps: u64,
+    faults_fired: u64,
+    elapsed_s: f64,
+    steps_per_sec: f64,
+    shed_rate: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    storm_seed: u64,
+    faults_per_tenant: u64,
+    requests_per_tenant: u64,
+    floor: f64,
+    rows: Vec<Row>,
+}
+
+struct Prebuilt {
+    base: Vec<Module>,
+    crasher: Vec<Module>,
+    util: Module,
+}
+
+fn prebuild() -> Prebuilt {
+    let build = BuildOptions::default();
+    let [stubs, libms, start] = mcfi::standard_modules(&build).expect("standard modules");
+    let prog = compile_module("prog", GUEST, &build).expect("guest compiles");
+    let bad = compile_module("prog", CRASHER, &build).expect("crasher compiles");
+    let util = compile_module(
+        "util",
+        "int util_fn(int x) { return x * 3 + 1; }",
+        &build,
+    )
+    .expect("library compiles");
+    Prebuilt {
+        base: vec![stubs.clone(), libms.clone(), prog, start.clone()],
+        crasher: vec![stubs, libms, bad, start],
+        util,
+    }
+}
+
+fn specs(n: usize, pre: &Prebuilt) -> Vec<TenantSpec> {
+    let recover =
+        ProcessOptions { violation_policy: ViolationPolicy::Recover, ..Default::default() };
+    let enforce =
+        ProcessOptions { violation_policy: ViolationPolicy::Enforce, ..Default::default() };
+    (0..n)
+        .map(|i| {
+            // The last tenant of every fleet is the crasher, so restart,
+            // intensity-ban, and shed costs show up in both variants.
+            if i == n - 1 {
+                TenantSpec {
+                    name: "crasher".to_string(),
+                    modules: pre.crasher.clone(),
+                    libraries: Vec::new(),
+                    entry: "__start".to_string(),
+                    options: enforce,
+                    recovery: RecoveryPolicy::default(),
+                }
+            } else {
+                TenantSpec {
+                    name: format!("tenant{i}"),
+                    modules: pre.base.clone(),
+                    libraries: vec![("util".to_string(), pre.util.clone())],
+                    entry: "__start".to_string(),
+                    options: recover,
+                    recovery: RecoveryPolicy::default(),
+                }
+            }
+        })
+        .collect()
+}
+
+fn opts() -> FleetOptions {
+    FleetOptions {
+        schedule: Schedule::RoundRobin,
+        restart: RestartStrategy {
+            max_restarts: 3,
+            window: 60,
+            backoff: Backoff::new(0x5eed, 2),
+        },
+        shed_threshold_pct: 50,
+        max_steps_per_request: 1_000_000,
+        record_results: false,
+    }
+}
+
+fn drive(n: usize, pre: &Prebuilt, storm: Option<Storm>) -> Row {
+    let mut fleet = Fleet::new(specs(n, pre), opts()).expect("fleet boots");
+    if let Some(storm) = storm {
+        fleet.arm_storm(storm);
+    }
+    let budget = n as u64 * REQUESTS_PER_TENANT;
+    let t = Instant::now();
+    fleet.run_requests(budget);
+    let elapsed = t.elapsed().as_secs_f64();
+    let s = fleet.stats();
+    Row {
+        tenants: s.tenants,
+        variant: if storm.is_some() { "storm" } else { "plain" }.to_string(),
+        requests: s.requests,
+        served: s.served,
+        shed: s.shed,
+        restarts: s.restarts,
+        bans: s.bans,
+        steps: s.steps,
+        faults_fired: s.faults_fired,
+        elapsed_s: elapsed,
+        steps_per_sec: s.steps as f64 / elapsed.max(1e-9),
+        shed_rate: s.shed as f64 / s.requests.max(1) as f64,
+    }
+}
+
+fn main() {
+    println!("fleet A/B (plain vs chaos storm, {REQUESTS_PER_TENANT} requests/tenant)\n");
+    let pre = prebuild();
+    let storm = Storm { seed: STORM_SEED, kind: StormKind::Random { faults: FAULTS_PER_TENANT } };
+
+    let mut rows = Vec::new();
+    let mut worst_ratio = f64::INFINITY;
+    for n in SIZES {
+        let plain = drive(n, &pre, None);
+        let stormy = drive(n, &pre, Some(storm));
+        let ratio = stormy.steps_per_sec / plain.steps_per_sec.max(1e-9);
+        worst_ratio = worst_ratio.min(ratio);
+        println!(
+            "{n} tenants: plain {:>12.0} steps/s | storm {:>12.0} steps/s ({:.0}% of plain, \
+             shed rate {:.1}%, {} restarts, {} bans, {} faults)",
+            plain.steps_per_sec,
+            stormy.steps_per_sec,
+            100.0 * ratio,
+            100.0 * stormy.shed_rate,
+            stormy.restarts,
+            stormy.bans,
+            stormy.faults_fired,
+        );
+        rows.push(plain);
+        rows.push(stormy);
+    }
+
+    let report = Report {
+        storm_seed: STORM_SEED,
+        faults_per_tenant: FAULTS_PER_TENANT as u64,
+        requests_per_tenant: REQUESTS_PER_TENANT,
+        floor: FLOOR,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_fleet.json", format!("{json}\n")).expect("write BENCH_fleet.json");
+    println!("\nwrote BENCH_fleet.json");
+
+    if worst_ratio < FLOOR {
+        eprintln!(
+            "\nFAIL: storm throughput fell to {:.0}% of plain (floor {:.0}%)",
+            100.0 * worst_ratio,
+            100.0 * FLOOR
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nPASS: storm throughput stayed at or above {:.0}% of plain everywhere (worst {:.0}%)",
+        100.0 * FLOOR,
+        100.0 * worst_ratio
+    );
+}

@@ -106,7 +106,7 @@ pub const ALL_POINTS: [FaultPoint; 11] = [
 /// translated-tier runs (a random plan must fire identically, seed for
 /// seed, whichever execution tier replays it). Arm those explicitly with
 /// [`FaultPlan::with`].
-const RUNTIME_POINTS: usize = 9;
+pub const RUNTIME_POINTS: usize = 9;
 
 impl FaultPoint {
     fn index(self) -> usize {
@@ -346,6 +346,74 @@ impl ChaosInjector {
     }
 }
 
+/// Seeded exponential backoff with deterministic jitter.
+///
+/// One policy, shared by every subsystem that retries a failing
+/// component: the runtime's dlopen quarantine backs off a flaky library
+/// with it, and the fleet supervision tree uses the identical sequence
+/// to hold a restarting tenant's circuit breaker open. The `attempt`-th
+/// delay (1-based) is
+///
+/// ```text
+/// (base << (attempt - 1)) + jitter(seed, key, attempt)
+/// ```
+///
+/// where the jitter is a xorshift64 draw in `0..base`, keyed by the
+/// backoff seed, an FNV-1a hash of `key` (a library or tenant name),
+/// and the attempt number — so herds of simultaneously failing
+/// components decorrelate, yet every (seed, key, attempt) triple yields
+/// the same delay on every host. A `base` of 0 disables both the delay
+/// and the jitter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Backoff {
+    /// Seed mixed into every jitter draw.
+    pub seed: u64,
+    /// Base delay; doubles per attempt. 0 disables backoff entirely.
+    pub base: u64,
+}
+
+impl Backoff {
+    /// A backoff policy from a jitter seed and a base delay.
+    pub fn new(seed: u64, base: u64) -> Self {
+        Backoff { seed, base }
+    }
+
+    /// The delay before retry number `attempt` (1-based): exponential in
+    /// the attempt with a deterministic per-`key` jitter. Saturates
+    /// instead of overflowing for absurd attempt counts.
+    pub fn delay(&self, key: &str, attempt: u32) -> u64 {
+        if self.base == 0 {
+            return 0;
+        }
+        let exp = self.base.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX);
+        exp.saturating_add(self.jitter(key, attempt))
+    }
+
+    /// The jitter component alone: a xorshift64 draw in `0..base` over
+    /// `(seed, key, attempt)`.
+    pub fn jitter(&self, key: &str, attempt: u32) -> u64 {
+        if self.base == 0 {
+            return 0;
+        }
+        let mut x = self.seed ^ fnv64(key.as_bytes()) ^ u64::from(attempt);
+        x |= 1; // xorshift state must be non-zero
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % self.base
+    }
+}
+
+/// FNV-1a over `bytes` (deterministic per-key jitter seeds).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The xorshift64 PRNG used for plan generation — tiny, seedable, and
 /// identical on every host.
 struct XorShift64(u64);
@@ -421,6 +489,47 @@ mod tests {
         assert_eq!(inj.fire(FaultPoint::TornTary), Some(3));
         assert_eq!(inj.fire(FaultPoint::VerifierReject), Some(0));
         assert_eq!(inj.fired().len(), 2);
+    }
+
+    #[test]
+    fn backoff_sequence_is_exact_per_seed() {
+        // The contract the quarantine and the fleet restart strategies
+        // both rely on: for a fixed (seed, base, key), the delay
+        // sequence is a host-independent constant. These values are the
+        // sequence itself — any change to the mixing breaks replay of
+        // recorded fault schedules and must show up here.
+        let b = Backoff::new(7, 1_000);
+        let delays: Vec<u64> = (1..=4).map(|a| b.delay("evil", a)).collect();
+        let again: Vec<u64> = (1..=4).map(|a| b.delay("evil", a)).collect();
+        assert_eq!(delays, again, "delays are pure functions of (seed, key, attempt)");
+        for (i, d) in delays.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            let exp = 1_000u64 << (attempt - 1);
+            assert!(*d >= exp && *d < exp + 1_000, "attempt {attempt}: {d} vs base {exp}");
+            assert_eq!(*d - exp, b.jitter("evil", attempt));
+        }
+        // Different seeds and different keys decorrelate the jitter.
+        assert_ne!(
+            (1..=4).map(|a| Backoff::new(8, 1_000).delay("evil", a)).collect::<Vec<_>>(),
+            delays
+        );
+        assert_ne!(
+            (1..=4).map(|a| b.delay("good", a)).collect::<Vec<_>>(),
+            delays
+        );
+    }
+
+    #[test]
+    fn backoff_edge_cases() {
+        // base 0 disables backoff entirely.
+        let off = Backoff::new(3, 0);
+        assert_eq!(off.delay("x", 1), 0);
+        assert_eq!(off.jitter("x", 9), 0);
+        // Absurd attempt counts saturate instead of overflowing.
+        assert_eq!(Backoff::new(3, 1 << 62).delay("x", 200), u64::MAX);
+        // Attempt 0 is treated like attempt 1's exponent.
+        let b = Backoff::new(3, 16);
+        assert_eq!(b.delay("x", 0) & !15, 16);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | static linker + PLT stubs | [`mcfi_linker`] |
 //! | sandboxed runtime, loader, dynamic linker, VM | [`mcfi_runtime`] |
 //! | self-healing supervisor (checkpoint/restore, quarantine, watchdog) | [`mcfi_supervisor`] |
+//! | fleet supervision tree (fault domains, restarts, load shedding) | [`mcfi_fleet`] |
 //! | modular verifier | [`mcfi_verifier`] |
 //! | classic/coarse/chunk baselines, AIR | [`mcfi_baselines`] |
 //! | ROP gadgets + attack case studies | [`mcfi_security`] |
@@ -58,7 +59,12 @@ pub use mcfi_runtime::{
     QuarantineReason, QuarantineStatus, RestoreError, RunResult, ViolationLog, ViolationPolicy,
     ViolationRecord,
 };
-pub use mcfi_supervisor::{RecoveryPolicy, Supervisor, SupervisorStats};
+pub use mcfi_chaos::Backoff;
+pub use mcfi_fleet::{
+    solo_replay, tenant_plan, Fleet, FleetError, FleetOptions, FleetStats, RestartStrategy,
+    Schedule, Storm, StormKind, TenantHealth, TenantSpec, TenantStats,
+};
+pub use mcfi_supervisor::{RecoveryPolicy, Supervisor, SupervisorError, SupervisorStats};
 pub use mcfi_tables::WatchdogVerdict;
 
 /// Target architecture flavor. The paper evaluates x86-32 and x86-64;

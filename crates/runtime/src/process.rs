@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mcfi_cfggen::{generate, ControlFlowPolicy, Placed};
-use mcfi_chaos::{ChaosInjector, FaultPlan, FaultPoint};
+use mcfi_chaos::{Backoff, ChaosInjector, FaultPlan, FaultPoint};
+use serde::Serialize;
 use mcfi_machine::DecodeError;
 use mcfi_minic::types::TypeEnv;
 use mcfi_linker::build_plt_stub;
@@ -299,7 +300,7 @@ fn vm_outcome(e: VmError) -> Outcome {
 }
 
 /// The result of running a program.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunResult {
     /// Why execution ended.
     pub outcome: Outcome,
@@ -504,16 +505,6 @@ impl Checkpoint {
     }
 }
 
-/// FNV-1a over `bytes` (for deterministic per-library jitter seeds).
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Why a [`Process::restore`] refused to restore a checkpoint. Both
 /// variants leave the process state completely untouched — the failure
 /// is detected before anything is written.
@@ -550,12 +541,13 @@ impl std::error::Error for RestoreError {}
 /// Quarantine policy for repeatedly failing dynamic loads (opt-in via
 /// [`Process::set_quarantine`]).
 ///
-/// Each `dlopen` failure for a library backs off its next retry
-/// exponentially (`base_backoff << (failures - 1)` cycles, plus seeded
-/// jitter so herds of retries decorrelate deterministically). After
-/// `max_failures` failures the library is banned outright: `dlopen`
-/// reports failure to the guest without even attempting the load.
-#[derive(Clone, Copy, Debug)]
+/// Each `dlopen` failure for a library backs off its next retry through
+/// the shared seeded [`Backoff`] helper (exponential in the failure
+/// count, plus deterministic per-library jitter so herds of retries
+/// decorrelate). After `max_failures` failures the library is banned
+/// outright: `dlopen` reports failure to the guest without even
+/// attempting the load.
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct QuarantineConfig {
     /// Failures before a permanent ban.
     pub max_failures: u32,
@@ -571,9 +563,16 @@ impl Default for QuarantineConfig {
     }
 }
 
+impl QuarantineConfig {
+    /// The [`Backoff`] policy this config induces.
+    pub fn backoff(&self) -> Backoff {
+        Backoff::new(self.seed, self.base_backoff)
+    }
+}
+
 /// Why a library entered quarantine (the machine-readable side of
 /// [`QuarantineStatus::last_error`], for supervisor policy decisions).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
 pub enum QuarantineReason {
     /// A load attempt failed inside the transactional loader (region
     /// exhaustion, unresolved symbols, type clashes, injected faults).
@@ -588,7 +587,7 @@ pub enum QuarantineReason {
 }
 
 /// Per-library quarantine state (see [`Process::quarantine_report`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct QuarantineStatus {
     /// The library's registry name (or module name, for violation bans).
     pub library: String,
@@ -940,6 +939,13 @@ impl Process {
         self.opts.checkpoint_interval = steps;
     }
 
+    /// Changes the step budget for subsequent runs (fleet use: a
+    /// per-request deadline, so one livelocked request times out with
+    /// [`Outcome::StepLimit`] instead of starving its host's loop).
+    pub fn set_max_steps(&mut self, steps: u64) {
+        self.opts.max_steps = steps;
+    }
+
     /// Bans `name` outright (supervisor use: the module owned a faulting
     /// branch). Counts as a quarantine regardless of its failure history.
     pub fn quarantine_module(&mut self, name: &str, reason: &str) {
@@ -1022,15 +1028,7 @@ impl Process {
             }
             return;
         }
-        let backoff = cfg.base_backoff << (entry.failures - 1);
-        // Deterministic jitter: xorshift64 over (seed, library, attempt).
-        let mut x = cfg.seed ^ fnv64(name.as_bytes()) ^ u64::from(entry.failures);
-        x |= 1;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        let jitter = if cfg.base_backoff == 0 { 0 } else { x % cfg.base_backoff };
-        entry.retry_at = now.saturating_add(backoff).saturating_add(jitter);
+        entry.retry_at = now.saturating_add(cfg.backoff().delay(name, entry.failures));
     }
 
     /// Clears quarantine state after a successful load.

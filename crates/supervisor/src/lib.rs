@@ -30,11 +30,68 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+use std::sync::atomic::Ordering;
+
 use mcfi_runtime::{
     Checkpoint, LoadError, Outcome, Process, QuarantineConfig, RestoreError, RunResult,
     ViolationPolicy,
 };
 use mcfi_tables::WatchdogVerdict;
+use serde::Serialize;
+
+pub use mcfi_chaos::Backoff;
+
+/// Why a supervised run could not produce a [`RunResult`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum SupervisorError {
+    /// The entry symbol did not resolve to an exported function of a
+    /// loaded module (the only way [`Process::run`] itself fails).
+    Load(LoadError),
+    /// The updater is *wedged*: its lease expired but it still holds the
+    /// update lock, so the watchdog cannot repair the tables safely and
+    /// the guest's check transactions can never commit. Unlike a crashed
+    /// updater (healed and re-run transparently) this is a live external
+    /// actor — only the operator can resolve it, so the supervisor
+    /// surfaces it instead of burning the recovery budget on re-runs
+    /// that are guaranteed to stall again.
+    Wedged {
+        /// The expired lease deadline, in simulated cycles.
+        lease_deadline: u64,
+        /// The watchdog's clock when the wedge was detected.
+        now: u64,
+        /// Steps the stalled run burned before hitting its ceiling.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Load(e) => write!(f, "{e}"),
+            SupervisorError::Wedged { lease_deadline, now, steps } => write!(
+                f,
+                "updater wedged: lease expired at cycle {lease_deadline} (clock {now}) \
+                 with the update lock still held; the guest stalled after {steps} steps"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SupervisorError::Load(e) => Some(e),
+            SupervisorError::Wedged { .. } => None,
+        }
+    }
+}
+
+impl From<LoadError> for SupervisorError {
+    fn from(e: LoadError) -> Self {
+        SupervisorError::Load(e)
+    }
+}
 
 /// Declarative recovery policy for a supervised process.
 #[derive(Clone, Copy, Debug)]
@@ -70,7 +127,7 @@ impl Default for RecoveryPolicy {
 }
 
 /// What the supervisor did across [`Supervisor::run`] calls.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct SupervisorStats {
     /// Process runs driven (re-runs included).
     pub runs: u64,
@@ -149,9 +206,11 @@ impl Supervisor {
     ///
     /// # Errors
     ///
-    /// Fails only if `entry` is not an exported function of a loaded
-    /// module.
-    pub fn run(&mut self, entry: &str) -> Result<RunResult, LoadError> {
+    /// [`SupervisorError::Load`] if `entry` is not an exported function
+    /// of a loaded module; [`SupervisorError::Wedged`] if a run stalls
+    /// at the step limit against a wedged updater — lease expired, lock
+    /// still held — which no amount of re-running can heal.
+    pub fn run(&mut self, entry: &str) -> Result<RunResult, SupervisorError> {
         self.process.checkpoint_now();
         let mut budget = self.policy.violation_retries;
         loop {
@@ -185,6 +244,22 @@ impl Supervisor {
                     budget -= 1;
                     self.stats.recoveries += 1;
                     self.heal();
+                }
+                // A stall with the tables *not* abandoned but a lease
+                // stamp left behind: poll the watchdog. `Wedged` (lock
+                // still held past the deadline) is unhealable from here
+                // — surface it instead of returning a bare step-limit
+                // result the caller would misread as a slow guest.
+                Outcome::StepLimit
+                    if self.policy.lease_duration > 0
+                        && self.process.watchdog_poll() == WatchdogVerdict::Wedged =>
+                {
+                    let tables = self.process.tables();
+                    return Err(SupervisorError::Wedged {
+                        lease_deadline: tables.lease_deadline(),
+                        now: self.process.cycle_counter().load(Ordering::Relaxed),
+                        steps: r.steps,
+                    });
                 }
                 _ => return Ok(r),
             }
@@ -459,5 +534,52 @@ mod tests {
         assert_eq!(r.load_rollbacks, 1, "the early retry never reached the loader");
         assert_eq!(sup.process().quarantine_denials(), 1);
         assert!(sup.process().quarantine_report().is_empty(), "success clears the entry");
+    }
+
+    #[test]
+    fn a_wedged_updater_surfaces_as_a_structured_error() {
+        // An updater that *holds* the update lock past its lease (as
+        // opposed to crashing and dropping it) leaves nothing abandoned
+        // to repair: the guest stalls at the step limit and, before this
+        // error existed, the supervisor returned the bare `StepLimit`
+        // result as if the guest were merely slow.
+        const SPIN: &str = "int w(int x) { return x * 2 + 1; }\n\
+             int main(void) {\n\
+               int (*f)(int) = &w;\n\
+               int acc = 0; int i = 0;\n\
+               while (i < 3000) { acc = acc + f(i) % 11; i = i + 1; }\n\
+               return acc % 100;\n\
+             }";
+        let popts = ProcessOptions {
+            max_steps: 400_000,
+            violation_policy: ViolationPolicy::Recover,
+            ..Default::default()
+        };
+        let policy = RecoveryPolicy { lease_duration: 1_000, ..Default::default() };
+        let mut sup = Supervisor::new(boot(SPIN, popts), policy);
+        let baseline = sup.run("__start").expect("runs");
+        assert!(matches!(baseline.outcome, Outcome::Exit { .. }), "{:?}", baseline.outcome);
+
+        // The updater opens a split transaction (Tary bumped, Bary not)
+        // and wedges: the lease is stamped, the lock stays held, and
+        // nothing is abandoned — `heal()` has no purchase here.
+        let tables = sup.process().tables();
+        let split = tables.bump_version_split();
+        assert!(!tables.has_abandoned());
+        let err = sup.run("__start").expect_err("a wedge is not healable by re-running");
+        match err {
+            SupervisorError::Wedged { lease_deadline, now, steps } => {
+                assert!(lease_deadline > 0, "the stamp is the evidence");
+                assert!(now >= lease_deadline, "detected only after expiry");
+                assert!(steps > 0, "the stalled run is counted");
+            }
+            other => panic!("expected Wedged, got {other:?}"),
+        }
+
+        // Once the wedged updater finally commits, supervision resumes
+        // and the guest reproduces its baseline result.
+        split.finish();
+        let after = sup.run("__start").expect("runs after the updater commits");
+        assert_eq!(after.outcome, baseline.outcome);
     }
 }

@@ -1,0 +1,514 @@
+//! Minimal in-tree stand-in for `serde_json`: the serialization half
+//! only, enough for the workspace to emit stats structs and bench
+//! reports as JSON artifacts ([`to_string`] / [`to_string_pretty`]).
+//!
+//! Supports everything the shim serde data model can produce, mapped the
+//! way real serde_json maps it: structs and maps to objects, sequences
+//! and tuples to arrays, unit variants to their name string, newtype
+//! variants to `{"Variant": value}`, struct/tuple variants to
+//! `{"Variant": {...}}` / `{"Variant": [...]}`, `None` to `null`, and
+//! non-finite floats to `null`. Deserialization is deliberately absent —
+//! nothing in the workspace parses JSON. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display, Write as _};
+
+use serde::ser;
+use serde::Serialize;
+
+/// A serialization failure (only producible via `ser::Error::custom`;
+/// the JSON emitter itself is infallible).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a compact single-line JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(Json { out: &mut out, indent: None })?;
+    Ok(out)
+}
+
+/// Serializes `value` to 2-space-indented multi-line JSON (for artifact
+/// files that humans diff).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(Json { out: &mut out, indent: Some(0) })?;
+    Ok(out)
+}
+
+/// The serializer: appends one JSON value to `out`. `indent` is `None`
+/// for compact output, or the current indent depth for pretty output.
+struct Json<'a> {
+    out: &'a mut String,
+    indent: Option<usize>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Json<'_> {
+    fn put_float(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            // `{}` prints the shortest round-tripping decimal; integral
+            // floats print bare (`1`), as real serde_json prints them.
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+}
+
+/// Shared state of an in-progress array or object.
+struct Compound<'a> {
+    out: &'a mut String,
+    /// Depth *inside* the delimiters (pretty mode only).
+    indent: Option<usize>,
+    close: char,
+    empty: bool,
+}
+
+impl<'a> Compound<'a> {
+    fn open(json: Json<'a>, open: char, close: char) -> Self {
+        json.out.push(open);
+        Compound { out: json.out, indent: json.indent.map(|d| d + 1), close, empty: true }
+    }
+
+    /// Starts the next element: comma separation plus pretty newlines.
+    fn next(&mut self) {
+        if !self.empty {
+            self.out.push(',');
+        }
+        self.empty = false;
+        if let Some(depth) = self.indent {
+            self.out.push('\n');
+            self.out.push_str(&"  ".repeat(depth));
+        }
+    }
+
+    /// Writes `"key":` (with pretty spacing) ahead of the next value.
+    fn key(&mut self, key: &str) {
+        self.next();
+        escape_into(self.out, key);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+    }
+
+    fn value(&mut self) -> Json<'_> {
+        Json { out: self.out, indent: self.indent }
+    }
+
+    /// Writes the closing delimiter and hands the output back (so an
+    /// enum-variant wrapper can close its outer object afterwards).
+    fn finish(self) -> &'a mut String {
+        if let (Some(depth), false) = (self.indent, self.empty) {
+            self.out.push('\n');
+            self.out.push_str(&"  ".repeat(depth - 1));
+        }
+        self.out.push(self.close);
+        self.out
+    }
+}
+
+impl<'a> ser::Serializer for Json<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Variant<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Variant<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.put_float(v.into())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.put_float(v)
+    }
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        escape_into(self.out, v.encode_utf8(&mut [0u8; 4]));
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        let mut seq = ser::Serializer::serialize_seq(self, Some(v.len()))?;
+        for b in v {
+            ser::SerializeSeq::serialize_element(&mut seq, b)?;
+        }
+        ser::SerializeSeq::end(seq)
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_str(variant)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let mut obj = Compound::open(self, '{', '}');
+        obj.key(variant);
+        value.serialize(obj.value())?;
+        obj.finish();
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        Ok(Compound::open(self, '[', ']'))
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, Error> {
+        Ok(Compound::open(self, '[', ']'))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        Ok(Compound::open(self, '[', ']'))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Variant<'a>, Error> {
+        Ok(Variant::open(self, variant, '[', ']'))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        Ok(Compound::open(self, '{', '}'))
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        Ok(Compound::open(self, '{', '}'))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Variant<'a>, Error> {
+        Ok(Variant::open(self, variant, '{', '}'))
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.next();
+        value.serialize(self.value())
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        // JSON object keys must be strings: serialize the key into a
+        // scratch buffer and quote it unless it already is one (real
+        // serde_json stringifies integer keys the same way).
+        let mut scratch = String::new();
+        key.serialize(Json { out: &mut scratch, indent: None })?;
+        self.next();
+        if scratch.starts_with('"') {
+            self.out.push_str(&scratch);
+        } else {
+            escape_into(self.out, &scratch);
+        }
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        value.serialize(self.value())
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.key(key);
+        value.serialize(self.value())
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+/// An enum variant rendered as a single-key wrapper object
+/// (`{"Variant": <payload>}`): the payload compound, remembering to
+/// close the wrapper after the payload closes.
+struct Variant<'a> {
+    inner: Compound<'a>,
+}
+
+impl<'a> Variant<'a> {
+    fn open(json: Json<'a>, variant: &str, open: char, close: char) -> Self {
+        let mut wrapper = Compound::open(json, '{', '}');
+        wrapper.key(variant);
+        let indent = wrapper.indent;
+        Variant { inner: Compound::open(Json { out: wrapper.out, indent }, open, close) }
+    }
+
+    fn close(self) -> Result<(), Error> {
+        // The payload sat at wrapper depth + 1; the wrapper's closing
+        // brace re-aligns to one level shallower than the payload.
+        let wrapper_inner_depth = self.inner.indent;
+        let out = self.inner.finish();
+        if let Some(depth) = wrapper_inner_depth {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth.saturating_sub(2)));
+        }
+        out.push('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Variant<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(&mut self.inner, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.close()
+    }
+}
+
+impl ser::SerializeStructVariant for Variant<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        ser::SerializeStruct::serialize_field(&mut self.inner, key, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::ser::SerializeStruct as _;
+
+    struct Point {
+        x: u64,
+        y: i64,
+        label: String,
+    }
+
+    impl Serialize for Point {
+        fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut st = s.serialize_struct("Point", 3)?;
+            st.serialize_field("x", &self.x)?;
+            st.serialize_field("y", &self.y)?;
+            st.serialize_field("label", &self.label)?;
+            st.end()
+        }
+    }
+
+    enum Shape {
+        Dot,
+        Circle(u64),
+        Rect { w: u64, h: u64 },
+    }
+
+    impl Serialize for Shape {
+        fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Shape::Dot => s.serialize_unit_variant("Shape", 0, "Dot"),
+                Shape::Circle(r) => s.serialize_newtype_variant("Shape", 1, "Circle", r),
+                Shape::Rect { w, h } => {
+                    use serde::ser::SerializeStructVariant as _;
+                    let mut sv = s.serialize_struct_variant("Shape", 2, "Rect", 2)?;
+                    sv.serialize_field("w", w)?;
+                    sv.serialize_field("h", h)?;
+                    sv.end()
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compact_shapes() {
+        let p = Point { x: 3, y: -4, label: "a \"b\"\n".into() };
+        assert_eq!(
+            to_string(&p).unwrap(),
+            r#"{"x":3,"y":-4,"label":"a \"b\"\n"}"#
+        );
+        assert_eq!(to_string(&Shape::Dot).unwrap(), r#""Dot""#);
+        assert_eq!(to_string(&Shape::Circle(9)).unwrap(), r#"{"Circle":9}"#);
+        assert_eq!(
+            to_string(&Shape::Rect { w: 2, h: 5 }).unwrap(),
+            r#"{"Rect":{"w":2,"h":5}}"#
+        );
+        assert_eq!(to_string(&vec![1u64, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(7u64)).unwrap(), "7");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&Vec::<u64>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_nests_with_two_space_indent() {
+        let pts = vec![
+            Point { x: 1, y: 2, label: "p".into() },
+            Point { x: 3, y: 4, label: "q".into() },
+        ];
+        let pretty = to_string_pretty(&pts).unwrap();
+        assert_eq!(
+            pretty,
+            "[\n  {\n    \"x\": 1,\n    \"y\": 2,\n    \"label\": \"p\"\n  },\n  \
+             {\n    \"x\": 3,\n    \"y\": 4,\n    \"label\": \"q\"\n  }\n]"
+        );
+        // Empty compounds stay on one line.
+        assert_eq!(to_string_pretty(&Vec::<u64>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn maps_stringify_keys() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(2u64, "two");
+        m.insert(10u64, "ten");
+        assert_eq!(to_string(&m).unwrap(), r#"{"2":"two","10":"ten"}"#);
+    }
+}
