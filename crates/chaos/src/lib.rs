@@ -82,10 +82,22 @@ pub enum FaultPoint {
     /// meaningful (and identical, seed for seed) on interpreter-tier
     /// runs; arm it explicitly with [`FaultPlan::with`].
     TransInvalidate,
+    /// A fleet scheduler worker stalls (spin-yields `param` times)
+    /// before draining its next task slice, simulating a descheduled or
+    /// page-faulting worker thread. Only reached by the multithreaded
+    /// fleet scheduler, so it sits past [`RUNTIME_POINTS`]; arm it
+    /// explicitly with [`FaultPlan::with`] or a fleet storm.
+    WorkerStall,
+    /// A fleet scheduler worker's deque discipline is inverted for one
+    /// round: the tenant slice it just served is re-queued onto a
+    /// *victim* worker's deque (`param` picks the victim) instead of
+    /// its own, forcing the cross-worker migration path. Only reached
+    /// by the multithreaded fleet scheduler (past [`RUNTIME_POINTS`]).
+    StealBias,
 }
 
 /// Every fault point, in wire-format order.
-pub const ALL_POINTS: [FaultPoint; 11] = [
+pub const ALL_POINTS: [FaultPoint; 13] = [
     FaultPoint::UpdaterCrash,
     FaultPoint::UpdaterStall,
     FaultPoint::TornTary,
@@ -97,15 +109,18 @@ pub const ALL_POINTS: [FaultPoint; 11] = [
     FaultPoint::MalformedImage,
     FaultPoint::SchedPoint,
     FaultPoint::TransInvalidate,
+    FaultPoint::WorkerStall,
+    FaultPoint::StealBias,
 ];
 
 /// The number of leading [`ALL_POINTS`] entries that [`FaultPlan::random`]
 /// draws from: the sites reachable on *any* wall-clock run. The trailing
 /// points are excluded — `sched-point` only fires under the model
-/// checker's deterministic scheduler, and `trans-invalidate` only on
-/// translated-tier runs (a random plan must fire identically, seed for
-/// seed, whichever execution tier replays it). Arm those explicitly with
-/// [`FaultPlan::with`].
+/// checker's deterministic scheduler, `trans-invalidate` only on
+/// translated-tier runs, and `worker-stall` / `steal-bias` only inside
+/// the multithreaded fleet scheduler (a random plan must fire
+/// identically, seed for seed, whichever execution tier or thread count
+/// replays it). Arm those explicitly with [`FaultPlan::with`].
 pub const RUNTIME_POINTS: usize = 9;
 
 impl FaultPoint {
@@ -127,6 +142,8 @@ impl FaultPoint {
             FaultPoint::MalformedImage => "malformed-image",
             FaultPoint::SchedPoint => "sched-point",
             FaultPoint::TransInvalidate => "trans-invalidate",
+            FaultPoint::WorkerStall => "worker-stall",
+            FaultPoint::StealBias => "steal-bias",
         }
     }
 }

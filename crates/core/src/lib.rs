@@ -56,16 +56,16 @@ pub use mcfi_codegen::{CodegenOptions, Policy};
 pub use mcfi_module::{AdmissionError, DecodeLimits, Module, WireError, WireErrorKind};
 pub use mcfi_runtime::{
     Checkpoint, FaultKind, LoadError, Outcome, Process, ProcessOptions, QuarantineConfig,
-    QuarantineReason, QuarantineStatus, RestoreError, RunResult, ViolationLog, ViolationPolicy,
-    ViolationRecord,
+    QuarantineReason, QuarantineStatus, RestoreError, RunResult, SharedImage, ViolationLog,
+    ViolationPolicy, ViolationRecord,
 };
 pub use mcfi_chaos::Backoff;
 pub use mcfi_fleet::{
     solo_replay, tenant_plan, Fleet, FleetError, FleetOptions, FleetStats, RestartStrategy,
-    Schedule, Storm, StormKind, TenantHealth, TenantSpec, TenantStats,
+    Schedule, Storm, StormKind, TenantHealth, TenantSpec, TenantStats, WorkerStats,
 };
 pub use mcfi_supervisor::{RecoveryPolicy, Supervisor, SupervisorError, SupervisorStats};
-pub use mcfi_tables::WatchdogVerdict;
+pub use mcfi_tables::{Ecn, Id, SharedTables, WatchdogVerdict};
 
 /// Target architecture flavor. The paper evaluates x86-32 and x86-64;
 /// the observable difference in this reproduction is LLVM-style tail-call

@@ -31,6 +31,18 @@
 //! the breaker's jittered backoff all run off explicit seeds, so the
 //! same configuration replays to bit-identical [`FleetStats`].
 //!
+//! At [`FleetOptions::threads`] > 1 the same request budget is driven
+//! by a pool of real OS threads with per-worker deques and work
+//! stealing: each tenant's requests stay ordered (a tenant is one fault
+//! domain and one lock), but tenants migrate between workers as the
+//! pool balances itself. Wall-clock interleaving is no longer
+//! deterministic — what survives, and what `tests/fleet_concurrent.rs`
+//! asserts, are the conservation laws (every scheduled request is
+//! served or shed exactly once, restarts are neither lost nor double
+//! counted) plus each tenant's *local* trajectory, which depends only
+//! on its own tick sequence. `threads = 1` keeps the original
+//! deterministic tick loop byte-for-byte.
+//!
 //! Isolation falls out of construction: tenants share no tables, no
 //! sandbox, and no clocks, and every cross-tenant decision (scheduling,
 //! overload) only *sheds* requests — it never touches a process. A
@@ -43,20 +55,29 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mcfi_chaos::{Backoff, ChaosInjector, FaultPlan, FaultPoint, ALL_POINTS, RUNTIME_POINTS};
 use mcfi_module::Module;
-use mcfi_runtime::{LoadError, Outcome, Process, ProcessOptions, RunResult};
+use mcfi_runtime::{LoadError, Outcome, Process, ProcessOptions, RunResult, SharedImage};
 use mcfi_supervisor::{RecoveryPolicy, Supervisor, SupervisorError, SupervisorStats};
 use serde::Serialize;
-use std::sync::Arc;
 
 /// Everything needed to (re)boot one tenant's process from scratch.
 #[derive(Clone)]
 pub struct TenantSpec {
     /// Tenant name (stats key, backoff jitter key).
     pub name: String,
-    /// Modules loaded at boot (trusted boot set).
+    /// When set, the tenant boots by *attaching* to this [`SharedImage`]
+    /// instead of loading `modules` privately: its ID tables become a
+    /// delta shard over the image base, so one batched image update
+    /// retargets this tenant together with every other attachee — and a
+    /// restart re-attaches to the same image. `modules` is ignored (the
+    /// image carries the module set).
+    pub image: Option<SharedImage>,
+    /// Modules loaded at boot (trusted boot set). Ignored when `image`
+    /// is set.
     pub modules: Vec<Module>,
     /// Libraries registered for the guest to `dlopen` later.
     pub libraries: Vec<(String, Module)>,
@@ -138,6 +159,12 @@ pub struct FleetOptions {
     /// Keep every served [`RunResult`] per tenant (isolation proofs;
     /// costs memory on long drives).
     pub record_results: bool,
+    /// Worker threads driving requests. `0` or `1` keeps the original
+    /// deterministic single-threaded tick loop; above that, a
+    /// work-stealing pool of real OS threads serves the same per-tenant
+    /// request budget concurrently (see the crate docs for what stays
+    /// deterministic).
+    pub threads: usize,
 }
 
 impl Default for FleetOptions {
@@ -148,6 +175,7 @@ impl Default for FleetOptions {
             shed_threshold_pct: 50,
             max_steps_per_request: 0,
             record_results: false,
+            threads: 1,
         }
     }
 }
@@ -295,6 +323,27 @@ pub struct FleetStats {
     pub digest: u64,
     /// Per-tenant breakdown, in tenant order.
     pub per_tenant: Vec<TenantStats>,
+    /// Per-worker breakdown of the most recent multithreaded drive
+    /// (empty after single-threaded drives).
+    pub workers: Vec<WorkerStats>,
+}
+
+/// Per-worker counters from one multithreaded drive
+/// ([`FleetOptions::threads`] > 1).
+#[derive(Clone, PartialEq, Debug, Default, Serialize)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: u64,
+    /// Task slices executed (a slice = one scheduling quantum of one
+    /// tenant's queued requests).
+    pub slices: u64,
+    /// Requests this worker drove.
+    pub requests: u64,
+    /// Slices obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Chaos-injected worker stalls served
+    /// ([`FaultPoint::WorkerStall`]).
+    pub stalls: u64,
 }
 
 /// Order-sensitive fold of a served run into a tenant digest. Hashes
@@ -351,13 +400,39 @@ impl Tenant {
     }
 }
 
+/// One tenant slot: the tenant behind its serving lock (a tenant is one
+/// fault domain *and* one unit of mutual exclusion — its requests never
+/// run concurrently), plus a lock-free health mirror so overload
+/// decisions never take tenant locks.
+struct Slot {
+    tenant: Mutex<Tenant>,
+    health: AtomicU8,
+}
+
+fn health_code(h: TenantHealth) -> u8 {
+    match h {
+        TenantHealth::Healthy => 0,
+        TenantHealth::Degraded => 1,
+        TenantHealth::Quarantined => 2,
+        TenantHealth::Banned => 3,
+    }
+}
+
+/// Whether more than the threshold fraction of tenants is unhealthy,
+/// judged from the lock-free health mirrors.
+fn overloaded_mirror(slots: &[Slot], shed_threshold_pct: u32) -> bool {
+    let unhealthy = slots.iter().filter(|s| s.health.load(Ordering::Relaxed) != 0).count();
+    unhealthy * 100 > shed_threshold_pct as usize * slots.len()
+}
+
 /// The supervision tree: N tenants, each an independent fault domain,
 /// plus the deterministic request driver (see the crate docs).
 pub struct Fleet {
-    tenants: Vec<Tenant>,
+    tenants: Vec<Slot>,
     opts: FleetOptions,
     global_tick: u64,
     sched_state: u64,
+    workers: Vec<WorkerStats>,
 }
 
 impl Fleet {
@@ -392,23 +467,26 @@ impl Fleet {
                 digest: 0,
                 supervisor: SupervisorStats::default(),
             };
-            tenants.push(Tenant {
-                spec,
-                sup,
-                health: TenantHealth::Healthy,
-                local_tick: 0,
-                retry_at: 0,
-                failures_streak: 0,
-                restart_ticks: VecDeque::new(),
-                plan: None,
-                injector: None,
-                faults_fired_past: 0,
-                sup_past: SupervisorStats::default(),
-                stats,
-                results: Vec::new(),
+            tenants.push(Slot {
+                tenant: Mutex::new(Tenant {
+                    spec,
+                    sup,
+                    health: TenantHealth::Healthy,
+                    local_tick: 0,
+                    retry_at: 0,
+                    failures_streak: 0,
+                    restart_ticks: VecDeque::new(),
+                    plan: None,
+                    injector: None,
+                    faults_fired_past: 0,
+                    sup_past: SupervisorStats::default(),
+                    stats,
+                    results: Vec::new(),
+                }),
+                health: AtomicU8::new(health_code(TenantHealth::Healthy)),
             });
         }
-        Ok(Fleet { tenants, opts, global_tick: 0, sched_state })
+        Ok(Fleet { tenants, opts, global_tick: 0, sched_state, workers: Vec::new() })
     }
 
     /// Number of tenants.
@@ -429,7 +507,7 @@ impl Fleet {
     ///
     /// If `index` is out of range.
     pub fn arm_tenant_plan(&mut self, index: usize, plan: FaultPlan) {
-        let t = &mut self.tenants[index];
+        let t = &mut *self.tenants[index].tenant.lock().expect("tenant lock");
         let injector = t.sup.process_mut().arm_chaos(plan.clone());
         t.plan = Some(plan);
         t.injector = Some(injector);
@@ -445,22 +523,175 @@ impl Fleet {
 
     /// The health of tenant `index`.
     pub fn health(&self, index: usize) -> TenantHealth {
-        self.tenants[index].health
+        self.tenants[index].tenant.lock().expect("tenant lock").health
     }
 
-    /// The served [`RunResult`]s of tenant `index` (empty unless
-    /// [`FleetOptions::record_results`] is set).
-    pub fn results(&self, index: usize) -> &[RunResult] {
-        &self.tenants[index].results
+    /// The served [`RunResult`]s of tenant `index`, cloned out of its
+    /// slot (empty unless [`FleetOptions::record_results`] is set).
+    pub fn results(&self, index: usize) -> Vec<RunResult> {
+        self.tenants[index].tenant.lock().expect("tenant lock").results.clone()
     }
 
-    /// Drives `total` requests through the schedule.
+    /// Per-worker counters from the most recent multithreaded drive
+    /// (empty for single-threaded fleets).
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.workers
+    }
+
+    /// Drives `total` requests through the schedule — the deterministic
+    /// tick loop at [`FleetOptions::threads`] ≤ 1, the work-stealing
+    /// pool above that.
     pub fn run_requests(&mut self, total: u64) {
+        if self.opts.threads > 1 {
+            self.run_requests_mt(total);
+            return;
+        }
         for _ in 0..total {
             let i = self.pick();
             self.global_tick += 1;
-            self.tick(i);
+            let overloaded = self.overloaded();
+            let slot = &self.tenants[i];
+            let mut t = slot.tenant.lock().expect("tenant lock");
+            tick_tenant(&self.opts, &mut t, overloaded);
+            slot.health.store(health_code(t.health), Ordering::Relaxed);
         }
+    }
+
+    /// The work-stealing drive: the *same* pick sequence as the
+    /// deterministic driver is drained up front into per-tenant request
+    /// budgets (so every tenant sees the identical local-tick
+    /// trajectory), then a scoped pool of real OS threads serves those
+    /// budgets from per-worker deques, stealing from a victim's deque
+    /// when its own runs dry. A tenant is served in `SLICE`-request
+    /// quanta and re-queued, so uneven tenants migrate between workers
+    /// instead of pinning one.
+    fn run_requests_mt(&mut self, total: u64) {
+        /// Requests a worker serves from one tenant before re-queueing
+        /// it: small enough that stealing balances uneven tenants,
+        /// large enough to amortize deque traffic.
+        const SLICE: u64 = 8;
+        struct Task {
+            tenant: usize,
+            remaining: u64,
+        }
+
+        let mut budget = vec![0u64; self.tenants.len()];
+        for _ in 0..total {
+            let i = self.pick();
+            self.global_tick += 1;
+            budget[i] += 1;
+        }
+
+        let threads = self.opts.threads;
+        let deques: Vec<Mutex<VecDeque<Task>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        let mut open_tasks = 0usize;
+        for (tenant, &remaining) in budget.iter().enumerate() {
+            if remaining > 0 {
+                deques[tenant % threads]
+                    .lock()
+                    .expect("deque lock")
+                    .push_back(Task { tenant, remaining });
+                open_tasks += 1;
+            }
+        }
+        // Tasks still queued or in a worker's hands; workers exit only
+        // when every task has fully drained, so a stolen tenant's tail
+        // can never be dropped.
+        let open = AtomicUsize::new(open_tasks);
+
+        let opts = &self.opts;
+        let slots = &self.tenants;
+        let deques = &deques;
+        let open = &open;
+        self.workers = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut ws =
+                            WorkerStats { worker: w as u64, ..WorkerStats::default() };
+                        loop {
+                            let mut stolen = false;
+                            let mut task =
+                                deques[w].lock().expect("deque lock").pop_back();
+                            if task.is_none() {
+                                for k in 1..threads {
+                                    let victim = (w + k) % threads;
+                                    task = deques[victim]
+                                        .lock()
+                                        .expect("deque lock")
+                                        .pop_front();
+                                    if task.is_some() {
+                                        stolen = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            let Some(task) = task else {
+                                if open.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                                continue;
+                            };
+                            if stolen {
+                                ws.steals += 1;
+                            }
+                            ws.slices += 1;
+                            let slot = &slots[task.tenant];
+                            let mut t = slot.tenant.lock().expect("tenant lock");
+                            if let Some(stall) = t
+                                .injector
+                                .as_ref()
+                                .and_then(|i| i.fire(FaultPoint::WorkerStall))
+                            {
+                                // A descheduled worker: burn the planned
+                                // quantum while holding the tenant, so
+                                // peers see a genuinely stuck worker.
+                                ws.stalls += 1;
+                                for _ in 0..stall.min(10_000) {
+                                    std::hint::spin_loop();
+                                }
+                                std::thread::yield_now();
+                            }
+                            let n = task.remaining.min(SLICE);
+                            for _ in 0..n {
+                                let overloaded =
+                                    overloaded_mirror(slots, opts.shed_threshold_pct);
+                                tick_tenant(opts, &mut t, overloaded);
+                                slot.health
+                                    .store(health_code(t.health), Ordering::Relaxed);
+                            }
+                            ws.requests += n;
+                            // StealBias hands the continuation to a
+                            // victim's deque instead of our own, forcing
+                            // the cross-worker migration path.
+                            let handoff = t
+                                .injector
+                                .as_ref()
+                                .and_then(|i| i.fire(FaultPoint::StealBias))
+                                .filter(|_| threads > 1)
+                                .map(|p| (w + 1 + p as usize % (threads - 1)) % threads);
+                            drop(t);
+                            let remaining = task.remaining - n;
+                            if remaining > 0 {
+                                deques[handoff.unwrap_or(w)]
+                                    .lock()
+                                    .expect("deque lock")
+                                    .push_back(Task { tenant: task.tenant, remaining });
+                            } else {
+                                open.fetch_sub(1, Ordering::AcqRel);
+                            }
+                        }
+                        ws
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker thread panicked"))
+                .collect()
+        });
     }
 
     fn pick(&mut self) -> usize {
@@ -481,109 +712,7 @@ impl Fleet {
 
     /// Whether more than the threshold fraction of tenants is unhealthy.
     fn overloaded(&self) -> bool {
-        let unhealthy =
-            self.tenants.iter().filter(|t| t.health != TenantHealth::Healthy).count();
-        unhealthy * 100 > self.opts.shed_threshold_pct as usize * self.tenants.len()
-    }
-
-    fn tick(&mut self, i: usize) {
-        let overloaded = self.overloaded();
-        let t = &mut self.tenants[i];
-        t.local_tick += 1;
-        t.stats.requests += 1;
-        match t.health {
-            TenantHealth::Banned => t.stats.banned_sheds += 1,
-            TenantHealth::Quarantined if t.local_tick < t.retry_at => {
-                t.stats.breaker_sheds += 1;
-            }
-            // Overload sheds Degraded tenants; Quarantined tenants past
-            // their backoff still get their half-open probe (the only
-            // path that can shrink the unhealthy set), and Healthy
-            // tenants always serve.
-            TenantHealth::Degraded if overloaded => t.stats.overload_sheds += 1,
-            _ => self.serve(i),
-        }
-    }
-
-    fn serve(&mut self, i: usize) {
-        let t = &mut self.tenants[i];
-        let recoveries_before = t.sup.stats().recoveries;
-        let res = t.sup.run(&t.spec.entry);
-        match res {
-            Ok(r) => {
-                t.stats.served += 1;
-                t.stats.steps += r.steps;
-                t.stats.cycles += r.cycles;
-                t.stats.digest = fold_digest(t.stats.digest, &r);
-                if self.opts.record_results {
-                    t.results.push(r.clone());
-                }
-                if matches!(r.outcome, Outcome::Exit { .. }) {
-                    t.failures_streak = 0;
-                    let recovered = t.sup.stats().recoveries > recoveries_before;
-                    t.health = match (t.health, recovered) {
-                        // A recovery mid-request caps the climb at
-                        // Degraded; a clean request climbs one rung.
-                        (_, true) => TenantHealth::Degraded,
-                        (TenantHealth::Quarantined, false) => TenantHealth::Degraded,
-                        (_, false) => TenantHealth::Healthy,
-                    };
-                } else {
-                    // Fault, enforced violation, or step-limit timeout:
-                    // terminal for this process lifetime.
-                    self.fail(i);
-                }
-            }
-            Err(SupervisorError::Load(_)) | Err(SupervisorError::Wedged { .. }) => {
-                if matches!(res, Err(SupervisorError::Wedged { .. })) {
-                    t.stats.wedges += 1;
-                }
-                self.fail(i);
-            }
-        }
-    }
-
-    /// One-for-one restart of tenant `i`, with intensity accounting.
-    fn fail(&mut self, i: usize) {
-        let restart = self.opts.restart;
-        let max_steps = self.opts.max_steps_per_request;
-        let t = &mut self.tenants[i];
-        t.stats.failures += 1;
-        t.failures_streak = t.failures_streak.saturating_add(1);
-        let now = t.local_tick;
-        t.restart_ticks.push_back(now);
-        while let Some(&front) = t.restart_ticks.front() {
-            if front + restart.window <= now {
-                t.restart_ticks.pop_front();
-            } else {
-                break;
-            }
-        }
-        if t.restart_ticks.len() as u64 > u64::from(restart.max_restarts) {
-            // Intensity exceeded: the tree gives up on this child. The
-            // dead process is not even rebooted — a banned tenant costs
-            // the fleet nothing but a shed counter.
-            t.health = TenantHealth::Banned;
-            return;
-        }
-        t.sup_past = t.supervisor_stats();
-        t.faults_fired_past = t.faults_fired();
-        match boot(&t.spec, max_steps) {
-            Ok(mut sup) => {
-                if let Some(plan) = &t.plan {
-                    t.injector = Some(sup.process_mut().arm_chaos(plan.clone()));
-                }
-                t.sup = sup;
-                t.stats.restarts += 1;
-                t.health = TenantHealth::Quarantined;
-                t.retry_at =
-                    now + 1 + restart.backoff.delay(&t.spec.name, t.failures_streak);
-            }
-            // The spec booted once, so a reboot failure means the spec
-            // itself has become unbootable — ban rather than retry a
-            // boot loop forever.
-            Err(_) => t.health = TenantHealth::Banned,
-        }
+        overloaded_mirror(&self.tenants, self.opts.shed_threshold_pct)
     }
 
     /// Snapshot of every counter, per tenant and rolled up.
@@ -591,7 +720,8 @@ impl Fleet {
         let per_tenant: Vec<TenantStats> = self
             .tenants
             .iter()
-            .map(|t| {
+            .map(|slot| {
+                let t = slot.tenant.lock().expect("tenant lock");
                 let mut s = t.stats.clone();
                 s.health = t.health;
                 s.faults_fired = t.faults_fired();
@@ -610,6 +740,7 @@ impl Fleet {
             faults_fired: 0,
             digest: 0,
             per_tenant,
+            workers: self.workers.clone(),
         };
         for s in &roll.per_tenant {
             roll.requests += s.requests;
@@ -625,10 +756,116 @@ impl Fleet {
     }
 }
 
-/// Boots one tenant process and wraps it in a supervisor.
+/// One scheduled request against one tenant. Shared verbatim by the
+/// deterministic tick loop and the work-stealing workers: a request is
+/// shed or served based only on the tenant's own state plus the
+/// `overloaded` snapshot the caller took.
+fn tick_tenant(opts: &FleetOptions, t: &mut Tenant, overloaded: bool) {
+    t.local_tick += 1;
+    t.stats.requests += 1;
+    match t.health {
+        TenantHealth::Banned => t.stats.banned_sheds += 1,
+        TenantHealth::Quarantined if t.local_tick < t.retry_at => {
+            t.stats.breaker_sheds += 1;
+        }
+        // Overload sheds Degraded tenants; Quarantined tenants past
+        // their backoff still get their half-open probe (the only
+        // path that can shrink the unhealthy set), and Healthy
+        // tenants always serve.
+        TenantHealth::Degraded if overloaded => t.stats.overload_sheds += 1,
+        _ => serve_tenant(opts, t),
+    }
+}
+
+fn serve_tenant(opts: &FleetOptions, t: &mut Tenant) {
+    let recoveries_before = t.sup.stats().recoveries;
+    let res = t.sup.run(&t.spec.entry);
+    match res {
+        Ok(r) => {
+            t.stats.served += 1;
+            t.stats.steps += r.steps;
+            t.stats.cycles += r.cycles;
+            t.stats.digest = fold_digest(t.stats.digest, &r);
+            if opts.record_results {
+                t.results.push(r.clone());
+            }
+            if matches!(r.outcome, Outcome::Exit { .. }) {
+                t.failures_streak = 0;
+                let recovered = t.sup.stats().recoveries > recoveries_before;
+                t.health = match (t.health, recovered) {
+                    // A recovery mid-request caps the climb at
+                    // Degraded; a clean request climbs one rung.
+                    (_, true) => TenantHealth::Degraded,
+                    (TenantHealth::Quarantined, false) => TenantHealth::Degraded,
+                    (_, false) => TenantHealth::Healthy,
+                };
+            } else {
+                // Fault, enforced violation, or step-limit timeout:
+                // terminal for this process lifetime.
+                fail_tenant(opts, t);
+            }
+        }
+        Err(SupervisorError::Load(_)) | Err(SupervisorError::Wedged { .. }) => {
+            if matches!(res, Err(SupervisorError::Wedged { .. })) {
+                t.stats.wedges += 1;
+            }
+            fail_tenant(opts, t);
+        }
+    }
+}
+
+/// One-for-one restart of a tenant, with intensity accounting.
+fn fail_tenant(opts: &FleetOptions, t: &mut Tenant) {
+    let restart = opts.restart;
+    t.stats.failures += 1;
+    t.failures_streak = t.failures_streak.saturating_add(1);
+    let now = t.local_tick;
+    t.restart_ticks.push_back(now);
+    while let Some(&front) = t.restart_ticks.front() {
+        if front + restart.window <= now {
+            t.restart_ticks.pop_front();
+        } else {
+            break;
+        }
+    }
+    if t.restart_ticks.len() as u64 > u64::from(restart.max_restarts) {
+        // Intensity exceeded: the tree gives up on this child. The
+        // dead process is not even rebooted — a banned tenant costs
+        // the fleet nothing but a shed counter.
+        t.health = TenantHealth::Banned;
+        return;
+    }
+    t.sup_past = t.supervisor_stats();
+    t.faults_fired_past = t.faults_fired();
+    match boot(&t.spec, opts.max_steps_per_request) {
+        Ok(mut sup) => {
+            if let Some(plan) = &t.plan {
+                t.injector = Some(sup.process_mut().arm_chaos(plan.clone()));
+            }
+            t.sup = sup;
+            t.stats.restarts += 1;
+            t.health = TenantHealth::Quarantined;
+            t.retry_at =
+                now + 1 + restart.backoff.delay(&t.spec.name, t.failures_streak);
+        }
+        // The spec booted once, so a reboot failure means the spec
+        // itself has become unbootable — ban rather than retry a
+        // boot loop forever.
+        Err(_) => t.health = TenantHealth::Banned,
+    }
+}
+
+/// Boots one tenant process — privately from its module list, or
+/// attached to its [`SharedImage`] — and wraps it in a supervisor.
 fn boot(spec: &TenantSpec, max_steps_per_request: u64) -> Result<Supervisor, LoadError> {
-    let mut p = Process::new(spec.options)?;
-    p.load_all(spec.modules.clone())?;
+    let mut p = match &spec.image {
+        Some(image) => image.attach_with(spec.options)?,
+        None => {
+            let mut p = Process::new(spec.options)?;
+            p.load_all(spec.modules.clone())?;
+            p
+        }
+    };
     for (name, module) in &spec.libraries {
         p.register_library(name, module.clone());
     }
@@ -655,6 +892,8 @@ pub fn solo_replay(
     let mut solo_opts = *opts;
     solo_opts.schedule = Schedule::RoundRobin;
     solo_opts.record_results = true;
+    // Replays are a determinism proof: always the deterministic loop.
+    solo_opts.threads = 1;
     let mut fleet = Fleet::new(vec![spec.clone()], solo_opts)?;
     if let Some(plan) = plan {
         fleet.arm_tenant_plan(0, plan);
@@ -676,6 +915,7 @@ mod tests {
     fn spec(name: &str, src: &str, popts: ProcessOptions, recovery: RecoveryPolicy) -> TenantSpec {
         TenantSpec {
             name: name.to_string(),
+            image: None,
             modules: vec![
                 synth::syscall_module(),
                 compile("libms", stdlib::LIBMS_SRC),

@@ -79,6 +79,11 @@ pub type McTables = mcfi_tables::IdTablesAt<McSync>;
 /// The model-checked wide (64-bit-word) tables.
 pub type McWideTables = mcfi_tables::wide::WideIdTablesAt<McSync>;
 
+/// The model-checked shared-image tables: the base-plus-delta
+/// publication protocol (see [`mcfi_tables::SharedTablesAt`]) with every
+/// attach, sweep, and registration step a schedule point.
+pub type McSharedTables = mcfi_tables::SharedTablesAt<McSync>;
+
 /// The model-checked MCFI strategy (tables + Fig. 3 transactions behind
 /// the `CheckStrategy` trait).
 pub type McStrategy = mcfi_tables::stm::McfiStrategyAt<McSync>;

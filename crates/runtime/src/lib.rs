@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod icache;
+pub mod image;
 pub mod mem;
 pub mod process;
 pub mod stdlib;
@@ -26,6 +27,7 @@ pub mod trans;
 pub mod vm;
 
 pub use icache::PredecodeCache;
+pub use image::SharedImage;
 pub use trans::TransCache;
 pub use mem::SandboxSnapshot;
 pub use process::{

@@ -726,6 +726,36 @@ impl Process {
     /// sandbox refuses a region mapping — a mis-laid-out process is an
     /// admission failure, not a host abort.
     pub fn new(opts: ProcessOptions) -> Result<Self, LoadError> {
+        Self::with_tables(opts, None)
+    }
+
+    /// Like [`Process::new`], but instead of allocating private ID
+    /// tables the process adopts `tables` — a per-process delta shard
+    /// attached to a [`crate::SharedImage`]'s base. All table traffic
+    /// (checks, policy installs, repairs) goes through the shard's
+    /// copy-on-write layering; update transactions sweep the whole
+    /// image.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Layout`] when the shard's sizing disagrees with this
+    /// process's layout/`bary_capacity` — the tables must cover exactly
+    /// the same code region and slot space.
+    pub fn new_attached(opts: ProcessOptions, tables: Arc<IdTables>) -> Result<Self, LoadError> {
+        let want = TablesConfig {
+            code_size: opts.layout.code_limit as usize,
+            bary_slots: opts.bary_capacity,
+        };
+        if tables.config() != want {
+            return Err(LoadError::Layout("attached tables sized for a different image layout"));
+        }
+        Self::with_tables(opts, Some(tables))
+    }
+
+    fn with_tables(
+        opts: ProcessOptions,
+        tables: Option<Arc<IdTables>>,
+    ) -> Result<Self, LoadError> {
         let l = opts.layout;
         validate_layout(&l)?;
         let mut mem = Sandbox::new(l.stack_top as usize);
@@ -733,10 +763,12 @@ impl Process {
             .map_err(|e| LoadError::Mem(format!("mapping the data region: {e}")))?;
         mem.map(l.stack_top - l.stack_size, l.stack_size, Perm::Rw)
             .map_err(|e| LoadError::Mem(format!("mapping the stack region: {e}")))?;
-        let tables = Arc::new(IdTables::new(TablesConfig {
-            code_size: l.code_limit as usize,
-            bary_slots: opts.bary_capacity,
-        }));
+        let tables = tables.unwrap_or_else(|| {
+            Arc::new(IdTables::new(TablesConfig {
+                code_size: l.code_limit as usize,
+                bary_slots: opts.bary_capacity,
+            }))
+        });
         // Reserve a GOT area at the start of the data region.
         let got_area = l.data_base;
         Ok(Process {

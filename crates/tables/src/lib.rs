@@ -41,6 +41,7 @@
 mod error;
 mod id;
 pub mod quiescence;
+mod shared;
 pub mod stm;
 pub mod sync;
 mod tables;
@@ -48,6 +49,7 @@ pub mod wide;
 
 pub use error::{CfiViolation, CheckError, CheckStalled, ViolationKind};
 pub use id::{Ecn, Id, Version, ECN_LIMIT, VERSION_LIMIT};
+pub use shared::{SharedTables, SharedTablesAt};
 pub use sync::{StdSync, SyncFacade};
 pub use tables::{
     IdTables, IdTablesAt, LeaseConfig, RetryConfig, SplitBump, TablesConfig, TaryView,

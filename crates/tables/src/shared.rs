@@ -1,0 +1,306 @@
+//! Shared-image table publication: one immutable base table plus
+//! per-process copy-on-write deltas, all governed by a single version
+//! space and update lock.
+//!
+//! A [`SharedTablesAt`] owns the *base* shard of an image. Processes
+//! attach via [`SharedTablesAt::attach`], receiving an all-zero delta
+//! shard ([`crate::IdTablesAt`]) layered over the base: a zero entry
+//! falls through to the base's word, a nonzero entry masks it, and a
+//! tombstone sentinel revokes a base target for that process alone. The
+//! delta implements the same `&IdTables` API the rest of the runtime
+//! already consumes, so an attached process is indistinguishable from
+//! one owning private tables — except that any shard's update
+//! transaction sweeps **every** live shard under the shared lock: one
+//! batched `TxUpdate` retargets the base and all attached processes in
+//! a single version bump.
+//!
+//! Publication is epoch-stamped: every committed transaction increments
+//! a 64-bit monotonic epoch on the shared protocol core
+//! ([`crate::IdTablesAt::publication_epoch`]), which attached processes
+//! compare against a cached value to notice a batched retarget without
+//! taking any lock.
+
+use std::sync::Arc;
+
+use crate::sync::{StdSync, SyncFacade};
+use crate::tables::{IdTablesAt, TablesConfig};
+
+/// The base shard of a shared module image, from which per-process
+/// delta shards are attached.
+///
+/// Cloning is shallow: clones publish the same image.
+#[derive(Debug)]
+pub struct SharedTablesAt<S: SyncFacade = StdSync> {
+    base: Arc<IdTablesAt<S>>,
+}
+
+/// The production shared-image tables (see [`SharedTablesAt`]).
+pub type SharedTables = SharedTablesAt<StdSync>;
+
+impl<S: SyncFacade> Clone for SharedTablesAt<S> {
+    fn clone(&self) -> Self {
+        SharedTablesAt { base: Arc::clone(&self.base) }
+    }
+}
+
+impl<S: SyncFacade> SharedTablesAt<S> {
+    /// Allocates a zeroed shared image. Publish the image policy by
+    /// running an ordinary update transaction against
+    /// [`SharedTablesAt::base`].
+    pub fn new(config: TablesConfig) -> Self {
+        let base = Arc::new(IdTablesAt::new(config));
+        base.register_shard();
+        SharedTablesAt { base }
+    }
+
+    /// The image's base tables. Transactions against the base sweep
+    /// every attached delta (the batched retarget); word loads read the
+    /// base policy itself.
+    pub fn base(&self) -> &Arc<IdTablesAt<S>> {
+        &self.base
+    }
+
+    /// Attaches a process: returns a fresh all-zero delta shard that
+    /// observes exactly the current base policy and shares the image's
+    /// version space, update lock, and epoch. Serialized against update
+    /// transactions by the update lock.
+    pub fn attach(&self) -> Arc<IdTablesAt<S>> {
+        self.base.attach_delta()
+    }
+
+    /// Number of live attached deltas (excluding the base itself).
+    pub fn attached(&self) -> usize {
+        self.base.live_shards().saturating_sub(1)
+    }
+
+    /// The image's publication epoch (see
+    /// [`crate::IdTablesAt::publication_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.base.publication_epoch()
+    }
+
+    /// **Deliberately buggy** attach for the model checker's stale-epoch
+    /// seeded-bug canary — see
+    /// `IdTablesAt::attach_prestamped_stale_for_tests`. Nothing but that
+    /// canary may call it.
+    #[doc(hidden)]
+    pub fn attach_prestamped_stale_for_tests(&self) -> Arc<IdTablesAt<S>> {
+        self.base.attach_prestamped_stale_for_tests()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ViolationKind;
+    use crate::id::{Ecn, Version};
+    use crate::{IdTables, RetryConfig};
+
+    fn image() -> SharedTables {
+        let img = SharedTables::new(TablesConfig { code_size: 64, bary_slots: 2 });
+        // Image policy: branch 0 in class 1 targeting {8}; branch 1 in
+        // class 2 targeting {16, 20} — the same demo CFG the private
+        // table tests use.
+        img.base().update(
+            |addr| match addr {
+                8 => Some(1),
+                16 | 20 => Some(2),
+                _ => None,
+            },
+            |slot| match slot {
+                0 => Some(1),
+                1 => Some(2),
+                _ => None,
+            },
+        );
+        img
+    }
+
+    #[test]
+    fn an_attached_delta_observes_the_base_policy() {
+        let img = image();
+        let d = img.attach();
+        assert!(d.is_delta());
+        assert_eq!(d.check(0, 8).unwrap(), Ecn::new(1));
+        assert_eq!(d.check(1, 16).unwrap(), Ecn::new(2));
+        assert_eq!(d.check(0, 16).unwrap_err().kind, ViolationKind::EcnMismatch {
+            branch: Ecn::new(1),
+            target: Ecn::new(2)
+        });
+        assert_eq!(d.check(0, 12).unwrap_err().kind, ViolationKind::NotATarget);
+        assert_eq!(d.current_version(), img.base().current_version());
+    }
+
+    #[test]
+    fn a_delta_update_masks_and_revokes_without_touching_the_base() {
+        let img = image();
+        let d = img.attach();
+        let spectator = img.attach();
+        // The delta's own policy: 8 moves to class 2 (so branch 1 may
+        // reach it), 16 is revoked, 20 keeps the base's class.
+        d.update(
+            |addr| match addr {
+                8 | 20 => Some(2),
+                _ => None,
+            },
+            |slot| match slot {
+                0 => Some(1),
+                1 => Some(2),
+                _ => None,
+            },
+        );
+        assert_eq!(d.check(1, 8).unwrap(), Ecn::new(2), "masked entry");
+        assert_eq!(
+            d.check(1, 16).unwrap_err().kind,
+            ViolationKind::NotATarget,
+            "tombstoned entry reads as no-target, like a private zero"
+        );
+        assert_eq!(d.check(1, 20).unwrap(), Ecn::new(2), "fall-through entry");
+        // The base and a sibling delta still enforce the image policy —
+        // at the *new* version (the sweep restamped them).
+        for t in [img.base().clone(), spectator] {
+            assert_eq!(t.check(0, 8).unwrap(), Ecn::new(1));
+            assert_eq!(t.check(1, 16).unwrap(), Ecn::new(2));
+            assert!(t.check(1, 8).is_err());
+        }
+    }
+
+    #[test]
+    fn one_base_update_retargets_every_attached_delta() {
+        let img = image();
+        let deltas: Vec<_> = (0..4).map(|_| img.attach()).collect();
+        assert_eq!(img.attached(), 4);
+        let epochs: Vec<u64> = deltas.iter().map(|d| d.publication_epoch()).collect();
+        // One batched TxUpdate against the base: class 1 grows to {8,12}.
+        img.base().update(
+            |addr| match addr {
+                8 | 12 => Some(1),
+                16 | 20 => Some(2),
+                _ => None,
+            },
+            |slot| match slot {
+                0 => Some(1),
+                1 => Some(2),
+                _ => None,
+            },
+        );
+        for (d, before) in deltas.iter().zip(epochs) {
+            assert!(d.check(0, 12).is_ok(), "retargeted through the shared base");
+            assert!(d.check(0, 16).is_err());
+            assert_eq!(d.current_version(), img.base().current_version());
+            assert_eq!(d.publication_epoch(), before + 1, "epoch announces the retarget");
+        }
+    }
+
+    #[test]
+    fn detached_deltas_are_pruned_from_the_sweep() {
+        let img = image();
+        let keep = img.attach();
+        let dropped = img.attach();
+        assert_eq!(img.attached(), 2);
+        drop(dropped);
+        // The next transaction prunes the dead weak reference.
+        img.base().bump_version();
+        assert_eq!(img.attached(), 1);
+        assert!(keep.check(0, 8).is_ok(), "survivor restamped to the new version");
+    }
+
+    #[test]
+    fn bump_version_from_a_delta_restamps_the_whole_image() {
+        let img = image();
+        let a = img.attach();
+        let b = img.attach();
+        a.update(
+            |addr| (addr == 8).then_some(7),
+            |slot| match slot {
+                0 => Some(7),
+                1 => Some(2),
+                _ => None,
+            },
+        );
+        let stats = b.bump_version();
+        assert!(stats.completed);
+        for t in [img.base(), &a, &b] {
+            assert_eq!(t.current_version(), img.base().current_version());
+        }
+        assert_eq!(a.check(0, 8).unwrap(), Ecn::new(7), "delta override survives restamps");
+        assert_eq!(b.check(0, 8).unwrap(), Ecn::new(1), "sibling still sees the base class");
+    }
+
+    #[test]
+    fn abandoned_image_transactions_are_repaired_across_shards() {
+        let img = image();
+        let d = img.attach();
+        d.update(
+            |addr| (addr == 8).then_some(7),
+            |slot| match slot {
+                0 => Some(7),
+                1 => Some(2),
+                _ => None,
+            },
+        );
+        drop(img.base().bump_version_split()); // updater "crashes" mid-image
+        assert!(d.has_abandoned());
+        let cfg = RetryConfig { escalate_after: 4, max_retries: 256 };
+        assert_eq!(d.check_bounded(0, 8, &cfg).unwrap(), Ecn::new(7));
+        assert!(!d.has_abandoned());
+        assert!(img.base().check(0, 8).is_ok(), "base healed by the same repair");
+    }
+
+    #[test]
+    fn tombstones_cannot_forge_validity_through_straddled_reads() {
+        // A tombstoned entry next to empty entries: every misaligned read
+        // overlapping it must stay invalid. (This is why the sentinel
+        // keeps the low bit of every byte clear.)
+        let img = image();
+        let d = img.attach();
+        d.update(
+            |addr| (addr == 8).then_some(1), // 16 and 20 revoked → tombstoned
+            |slot| match slot {
+                0 => Some(1),
+                1 => Some(2),
+                _ => None,
+            },
+        );
+        for target in 13..=23u64 {
+            if target == 16 || target == 20 {
+                continue; // aligned tombstone reads, asserted below
+            }
+            let err = d.check(1, target).unwrap_err();
+            assert_eq!(err.kind, ViolationKind::UnalignedTarget, "target {target}");
+        }
+        assert_eq!(d.check(1, 16).unwrap_err().kind, ViolationKind::NotATarget);
+        assert_eq!(d.check(1, 20).unwrap_err().kind, ViolationKind::NotATarget);
+    }
+
+    #[test]
+    fn private_tables_keep_the_unregistered_fast_path() {
+        // A plain IdTables never registers with its core, so transactions
+        // write only its own arrays — the pre-sharing behavior.
+        let t = IdTables::new(TablesConfig { code_size: 64, bary_slots: 1 });
+        t.update(|a| (a == 8).then_some(1), |_| Some(1));
+        assert!(!t.is_delta());
+        assert!(t.check(0, 8).is_ok());
+        assert_eq!(t.current_version(), Version::new(1));
+        assert_eq!(t.publication_epoch(), 1);
+    }
+
+    #[test]
+    fn the_epoch_counts_every_committed_transaction_image_wide() {
+        let img = image();
+        let d = img.attach();
+        let e0 = img.epoch();
+        img.base().bump_version();
+        d.bump_version();
+        d.update(
+            |addr| (addr == 8).then_some(1),
+            |slot| match slot {
+                0 => Some(1),
+                1 => Some(2),
+                _ => None,
+            },
+        );
+        assert_eq!(img.epoch(), e0 + 3);
+        assert_eq!(d.publication_epoch(), img.epoch(), "one epoch per image");
+    }
+}

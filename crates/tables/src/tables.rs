@@ -1,7 +1,7 @@
 //! The Bary/Tary ID tables and the two table transactions (paper §5).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use mcfi_chaos::{ChaosInjector, FaultPoint};
 use parking_lot::Mutex;
@@ -134,6 +134,46 @@ pub enum WatchdogVerdict {
 pub struct IdTablesAt<S: SyncFacade = StdSync> {
     tary: Vec<S::AtomicU32>,
     bary: Vec<S::AtomicU32>,
+    /// The transaction-protocol head (version, update lock, lease,
+    /// publication epoch, shard registry). Private tables own their core
+    /// exclusively; every shard of a shared image — the base and all
+    /// per-process deltas — holds the *same* core, so one version space
+    /// and one update lock govern the whole image.
+    core: Arc<ProtocolCore<S>>,
+    /// The shared-image base these tables layer over, if any. `None`
+    /// for private tables and for an image's base itself. When set, a
+    /// zero word in this shard falls through to the base's word at the
+    /// same index — the entry-granularity copy-on-write delta.
+    base: Option<Arc<IdTablesAt<S>>>,
+    /// Count of check-transaction retries, for instrumentation/benchmarks.
+    ///
+    /// This and the three counters below are instrumentation, not
+    /// protocol state — no check or update *decision* reads them — so
+    /// they stay on plain `std` atomics (never schedule points under the
+    /// model checker) and they stay *per shard*: each attached process
+    /// observes its own retry/escalation/repair activity even though the
+    /// protocol state is image-wide.
+    retries: AtomicU64,
+    /// Count of bounded-check escalations to the update lock.
+    escalations: AtomicU64,
+    /// Count of abandoned transactions repaired by a checker.
+    repairs: AtomicU64,
+    /// Count of repairs initiated by the lease watchdog.
+    lease_repairs: AtomicU64,
+    /// Fast disarmed-path gate for fault injection: a single relaxed load
+    /// on the *update* paths (check fast paths are never instrumented).
+    /// Per shard, so fleet tenants attached to one image keep independent
+    /// fault plans.
+    chaos_armed: AtomicBool,
+    /// The armed fault plan, if any.
+    chaos: Mutex<Option<Arc<ChaosInjector>>>,
+}
+
+/// The protocol head one update transaction serializes on: shared via
+/// `Arc` between every shard of a shared image (base + deltas), owned
+/// exclusively by a private table.
+#[derive(Debug)]
+pub(crate) struct ProtocolCore<S: SyncFacade> {
     /// Global version, bumped (mod 2^14) by every update transaction.
     version: S::AtomicU32,
     /// Serializes update transactions (they are rare; concurrency among
@@ -148,31 +188,77 @@ pub struct IdTablesAt<S: SyncFacade = StdSync> {
     /// heal/leave-alone decision reads it), so it lives on the facade and
     /// is a schedule point under the model checker.
     lease_deadline: S::AtomicU64,
-    /// Count of updates since the last quiescent reset, for ABA detection.
-    ///
-    /// This and the three counters below are instrumentation, not
-    /// protocol state — no check or update *decision* reads them — so
-    /// they stay on plain `std` atomics and are not schedule points
-    /// under the model checker (which would otherwise multiply the
-    /// explored state space for no protocol coverage).
+    /// Publication epoch: a 64-bit monotonic count of *committed*
+    /// transactions against this core (it never wraps, unlike the 14-bit
+    /// version). Attached processes compare it against the value they
+    /// cached to notice that a batched update has retargeted them.
+    epoch: S::AtomicU64,
+    /// Count of updates since the last quiescent reset, for ABA
+    /// detection. Core-wide: the 2^14-updates-per-check hazard counts
+    /// every transaction in the shared version space, whichever shard
+    /// ran it.
     update_count: AtomicU64,
-    /// Count of check-transaction retries, for instrumentation/benchmarks.
-    retries: AtomicU64,
-    /// Count of bounded-check escalations to the update lock.
-    escalations: AtomicU64,
-    /// Count of abandoned transactions repaired by a checker.
-    repairs: AtomicU64,
-    /// Count of repairs initiated by the lease watchdog.
-    lease_repairs: AtomicU64,
     /// The installed lease configuration, if any. Like `chaos`, this is
     /// configuration (read under a plain mutex, never a schedule point);
     /// only the deadline word above is protocol state.
     lease: Mutex<Option<LeaseConfig>>,
-    /// Fast disarmed-path gate for fault injection: a single relaxed load
-    /// on the *update* paths (check fast paths are never instrumented).
-    chaos_armed: AtomicBool,
-    /// The armed fault plan, if any.
-    chaos: Mutex<Option<Arc<ChaosInjector>>>,
+    /// Every live shard stamped by this core's transactions: the image
+    /// base first, then per-process deltas in attach order. Empty for a
+    /// private table (transactions then write just their own arrays).
+    /// Mutated only under the update lock (plain mutex: registry edits
+    /// are bookkeeping, not schedule points — the *lock acquisition*
+    /// racing an update is what the model checker explores).
+    shards: Mutex<Vec<Weak<IdTablesAt<S>>>>,
+}
+
+impl<S: SyncFacade> ProtocolCore<S> {
+    pub(crate) fn new() -> Self {
+        ProtocolCore {
+            version: <S::AtomicU32 as AtomicU32Ops>::new(0),
+            update_lock: new_mutex::<S, ()>(()),
+            abandoned: <S::AtomicBool as AtomicBoolOps>::new(false),
+            lease_deadline: <S::AtomicU64 as AtomicU64Ops>::new(0),
+            epoch: <S::AtomicU64 as AtomicU64Ops>::new(0),
+            update_count: AtomicU64::new(0),
+            lease: Mutex::new(None),
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// The copy-on-write revocation sentinel a delta shard stores where its
+/// process's policy has *no* target but the shared base has one. Nonzero
+/// (so it does not fall through to the base) yet an invalid ID (byte 0's
+/// reserved bit is 0), so a check lands on [`ViolationKind::NotATarget`]
+/// — exactly what a private table's all-zero entry produces. Version
+/// re-stamps skip it like any other invalid word.
+///
+/// The value keeps the reserved bit (bit 0) of *every* byte clear, not
+/// just byte 0's: a misaligned Tary read straddles two entries, and the
+/// straddle-proof ("unaligned reads cannot forge validity", see
+/// `crate::id` proptests) rests on aligned byte 0 of a valid ID being
+/// the only byte in the region with its low bit set. A sentinel like
+/// `0x0000_0100` would break that — its `0x01` byte could land at
+/// straddle position 0 next to zero bytes and reconstruct the valid
+/// word `0x0000_0001`.
+pub(crate) const TOMBSTONE: u32 = 0x0000_0002;
+
+/// The shard list one update transaction writes, resolved under the
+/// update lock: just the transacting table itself for a private table,
+/// or every live registered shard (base first, then deltas in attach
+/// order) for a shared image.
+enum TxShards<'a, S: SyncFacade> {
+    Own(&'a IdTablesAt<S>),
+    Shared(Vec<Arc<IdTablesAt<S>>>),
+}
+
+impl<S: SyncFacade> TxShards<'_, S> {
+    fn list(&self) -> Vec<&IdTablesAt<S>> {
+        match self {
+            TxShards::Own(t) => vec![t],
+            TxShards::Shared(v) => v.iter().map(|a| &**a).collect(),
+        }
+    }
 }
 
 /// The production MCFI runtime ID tables (see [`IdTablesAt`]).
@@ -182,25 +268,139 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// Allocates zeroed tables: initially *no* address is a legal
     /// indirect-branch target, matching a freshly reserved table region.
     pub fn new(config: TablesConfig) -> Self {
+        Self::with_core(config, Arc::new(ProtocolCore::new()), None)
+    }
+
+    /// Allocates a zeroed shard bound to an existing protocol core —
+    /// the constructor [`crate::SharedTablesAt`] uses for the image base
+    /// and for per-process deltas.
+    pub(crate) fn with_core(
+        config: TablesConfig,
+        core: Arc<ProtocolCore<S>>,
+        base: Option<Arc<IdTablesAt<S>>>,
+    ) -> Self {
         let entries = config.code_size.div_ceil(4);
         IdTablesAt {
             tary: (0..entries).map(|_| <S::AtomicU32 as AtomicU32Ops>::new(0)).collect(),
             bary: (0..config.bary_slots)
                 .map(|_| <S::AtomicU32 as AtomicU32Ops>::new(0))
                 .collect(),
-            version: <S::AtomicU32 as AtomicU32Ops>::new(0),
-            update_lock: new_mutex::<S, ()>(()),
-            abandoned: <S::AtomicBool as AtomicBoolOps>::new(false),
-            lease_deadline: <S::AtomicU64 as AtomicU64Ops>::new(0),
-            update_count: AtomicU64::new(0),
+            core,
+            base,
             retries: AtomicU64::new(0),
             escalations: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
             lease_repairs: AtomicU64::new(0),
-            lease: Mutex::new(None),
             chaos_armed: AtomicBool::new(false),
             chaos: Mutex::new(None),
         }
+    }
+
+    /// Whether these tables are a per-process delta attached to a shared
+    /// image base (as opposed to a private table or the base itself).
+    pub fn is_delta(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// The publication epoch: a 64-bit monotonic count of committed
+    /// transactions against this table's protocol core. For shared-image
+    /// shards the count is image-wide, so an attached process can detect
+    /// a batched retarget by comparing against a cached value.
+    pub fn publication_epoch(&self) -> u64 {
+        self.core.epoch.load(Ordering::Acquire)
+    }
+
+    /// The sizing these tables were allocated with.
+    pub fn config(&self) -> TablesConfig {
+        TablesConfig { code_size: self.tary.len() * 4, bary_slots: self.bary.len() }
+    }
+
+    /// Resolves the shard set a transaction must write; callers hold the
+    /// update lock (so the registry cannot change underneath). Dead
+    /// shards (detached processes) are pruned on the way.
+    fn tx_shards(&self) -> TxShards<'_, S> {
+        let mut reg = self.core.shards.lock();
+        if reg.is_empty() {
+            return TxShards::Own(self);
+        }
+        reg.retain(|w| w.strong_count() > 0);
+        let live: Vec<Arc<IdTablesAt<S>>> = reg.iter().filter_map(Weak::upgrade).collect();
+        drop(reg);
+        if live.is_empty() {
+            TxShards::Own(self)
+        } else {
+            TxShards::Shared(live)
+        }
+    }
+
+    /// Registers `shard` with this table's core. Callers hold the update
+    /// lock except the deliberately buggy stale-attach test seam.
+    pub(crate) fn register_shard(self: &Arc<Self>) {
+        self.core.shards.lock().push(Arc::downgrade(self));
+    }
+
+    /// Number of live shards registered with the core (0 for a private
+    /// table: its registry is empty and transactions write only itself).
+    pub(crate) fn live_shards(&self) -> usize {
+        self.core.shards.lock().iter().filter(|w| w.strong_count() > 0).count()
+    }
+
+    /// Marks one committed transaction: bumps the core-wide update count
+    /// (ABA mitigation) and the publication epoch.
+    fn commit_tx(&self) -> u64 {
+        let updates = self.core.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        self.core.epoch.fetch_add(1, Ordering::Release);
+        updates
+    }
+
+    /// Attaches a fresh all-zero delta shard layered over `self` (the
+    /// image base): every entry falls through, so the new shard observes
+    /// exactly the base policy from its first load. The registration is
+    /// serialized against update transactions by the update lock — the
+    /// publication protocol's correctness hinges on this (see the
+    /// deliberately buggy seam below for what the race costs).
+    pub(crate) fn attach_delta(self: &Arc<Self>) -> Arc<IdTablesAt<S>> {
+        let _guard = self.core.update_lock.lock();
+        let delta = Arc::new(IdTablesAt::with_core(
+            self.config(),
+            Arc::clone(&self.core),
+            Some(Arc::clone(self)),
+        ));
+        delta.register_shard();
+        delta
+    }
+
+    /// **Deliberately buggy** attach that reads the image version
+    /// *without* the update lock, materializes the base's policy into the
+    /// delta stamped with that version, and only then registers. An
+    /// update transaction completing between the unlocked version read
+    /// and the registration sweeps the registry without this shard — the
+    /// delta then publishes stale-version words that *mask* the freshly
+    /// restamped base, so the attached process silently missed a batched
+    /// retarget. Test seam for the model checker's stale-epoch seeded-bug
+    /// canary; nothing else may call it.
+    #[doc(hidden)]
+    pub fn attach_prestamped_stale_for_tests(self: &Arc<Self>) -> Arc<IdTablesAt<S>> {
+        // BUG: no update lock held across the read + copy + register.
+        let stale =
+            Version::new(self.core.version.load(Ordering::Acquire) % VERSION_LIMIT);
+        let delta = Arc::new(IdTablesAt::with_core(
+            self.config(),
+            Arc::clone(&self.core),
+            Some(Arc::clone(self)),
+        ));
+        for (i, slot) in delta.tary.iter().enumerate() {
+            if let Some(id) = Id::from_word(self.raw_tary_word(i)) {
+                slot.store(Id::encode(id.ecn(), stale).word(), Ordering::Relaxed);
+            }
+        }
+        for (s, slot) in delta.bary.iter().enumerate() {
+            if let Some(id) = Id::from_word(self.raw_bary_word(s)) {
+                slot.store(Id::encode(id.ecn(), stale).word(), Ordering::Release);
+            }
+        }
+        delta.register_shard();
+        delta
     }
 
     /// Arms a fault-injection plan: subsequent update transactions pass
@@ -236,13 +436,13 @@ impl<S: SyncFacade> IdTablesAt<S> {
     fn chaos_warp_version(&self) {
         if let Some(distance) = self.chaos_fire(FaultPoint::VersionWarp) {
             let warped = (VERSION_LIMIT - 1).saturating_sub(distance as u32 % VERSION_LIMIT);
-            self.version.store(warped, Ordering::Release);
+            self.core.version.store(warped, Ordering::Release);
         }
     }
 
     /// The current global version number.
     pub fn current_version(&self) -> Version {
-        Version::new(self.version.load(Ordering::Acquire) % VERSION_LIMIT)
+        Version::new(self.core.version.load(Ordering::Acquire) % VERSION_LIMIT)
     }
 
     /// Number of Tary entries (4-byte-aligned code addresses covered).
@@ -295,20 +495,20 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// deadline word is never touched, so the disarmed cost is one plain
     /// mutex check per (rare) update transaction.
     pub fn set_lease(&self, config: LeaseConfig) {
-        *self.lease.lock() = Some(config);
+        *self.core.lease.lock() = Some(config);
     }
 
     /// Removes the lease configuration and clears any outstanding stamp.
     pub fn clear_lease(&self) {
-        let was = self.lease.lock().take();
+        let was = self.core.lease.lock().take();
         if was.is_some() {
-            self.lease_deadline.store(0, Ordering::Release);
+            self.core.lease_deadline.store(0, Ordering::Release);
         }
     }
 
     /// The currently stamped lease deadline (0 = no lease outstanding).
     pub fn lease_deadline(&self) -> u64 {
-        self.lease_deadline.load(Ordering::Acquire)
+        self.core.lease_deadline.load(Ordering::Acquire)
     }
 
     /// The updater watchdog: checks the lease stamp against `now` and
@@ -330,14 +530,14 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// only fires once a guest check actually trips over the skewed
     /// window.
     pub fn watchdog_poll(&self, now: u64) -> WatchdogVerdict {
-        let deadline = self.lease_deadline.load(Ordering::Acquire);
+        let deadline = self.core.lease_deadline.load(Ordering::Acquire);
         if deadline == 0 {
             return WatchdogVerdict::Clean;
         }
         if now < deadline {
             return WatchdogVerdict::LeaseActive;
         }
-        match self.update_lock.try_lock() {
+        match self.core.update_lock.try_lock() {
             Some(guard) => {
                 let repaired = self.repair_locked(&guard);
                 self.lease_repairs.fetch_add(1, Ordering::Relaxed);
@@ -350,11 +550,11 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// Stamps the lease deadline; called immediately after every update
     /// path acquires the update lock. No-op without a [`LeaseConfig`].
     fn stamp_lease(&self) {
-        let config = self.lease.lock().clone();
+        let config = self.core.lease.lock().clone();
         if let Some(config) = config {
             let deadline =
                 config.clock.load(Ordering::Relaxed).saturating_add(config.duration).max(1);
-            self.lease_deadline.store(deadline, Ordering::Release);
+            self.core.lease_deadline.store(deadline, Ordering::Release);
         }
     }
 
@@ -362,15 +562,48 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// under the update lock). Crash paths deliberately skip this — the
     /// surviving stamp is what the watchdog detects.
     fn clear_lease_stamp(&self) {
-        if self.lease.lock().is_some() {
-            self.lease_deadline.store(0, Ordering::Release);
+        if self.core.lease.lock().is_some() {
+            self.core.lease_deadline.store(0, Ordering::Release);
         }
     }
 
     /// Whether an update transaction is known to have been abandoned
     /// between its phases and not yet repaired.
     pub fn has_abandoned(&self) -> bool {
-        self.abandoned.load(Ordering::Acquire)
+        self.core.abandoned.load(Ordering::Acquire)
+    }
+
+    /// The effective Bary word at `slot`: this shard's own entry, or —
+    /// when the entry is 0 and a shared base is attached — the base's.
+    /// Panics on an out-of-range slot like direct indexing does.
+    #[inline]
+    fn bary_word_at(&self, slot: usize) -> u32 {
+        let own = self.bary[slot].load(Ordering::Acquire);
+        if own != 0 {
+            return own;
+        }
+        match &self.base {
+            Some(b) => b.bary.get(slot).map_or(0, |s| s.load(Ordering::Acquire)),
+            None => 0,
+        }
+    }
+
+    /// The effective aligned Tary word at entry `idx` (covering code
+    /// address `4*idx`): own entry, or the base's when own is 0. Returns
+    /// 0 out of range.
+    #[inline]
+    fn tary_word_at(&self, idx: usize) -> u32 {
+        let own = match self.tary.get(idx) {
+            Some(slot) => slot.load(Ordering::Acquire),
+            None => return 0,
+        };
+        if own != 0 {
+            return own;
+        }
+        match &self.base {
+            Some(b) => b.tary.get(idx).map_or(0, |s| s.load(Ordering::Acquire)),
+            None => 0,
+        }
     }
 
     /// The `TxCheck` transaction (paper Fig. 4) for the indirect branch
@@ -395,7 +628,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// runtime condition.
     pub fn check(&self, bary_slot: usize, target: u64) -> Result<Ecn, CfiViolation> {
         loop {
-            let branch_word = self.bary[bary_slot].load(Ordering::Acquire);
+            let branch_word = self.bary_word_at(bary_slot);
             let target_word = self.load_tary_word(target);
             if branch_word == target_word {
                 // Case 1: single comparison completes all three checks.
@@ -476,7 +709,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
             }
             if config.escalate_after > 0 && retries.is_multiple_of(config.escalate_after) {
                 self.escalations.fetch_add(1, Ordering::Relaxed);
-                if let Some(guard) = self.update_lock.try_lock() {
+                if let Some(guard) = self.core.update_lock.try_lock() {
                     self.repair_locked(&guard);
                     continue; // re-check immediately after a repair pass
                 }
@@ -505,41 +738,49 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// Blocks on the update lock; returns `false` without touching
     /// anything when the tables are already consistent.
     pub fn repair_abandoned(&self) -> bool {
-        let guard = self.update_lock.lock();
+        let guard = self.core.update_lock.lock();
         self.repair_locked(&guard)
     }
 
-    /// The repair pass proper; requires the update lock.
+    /// The repair pass proper; requires the update lock. On a shared
+    /// image the abandoned transaction had been sweeping *every* shard,
+    /// so the repair sweeps them all too — same phase discipline.
     fn repair_locked(&self, _guard: &LockGuard<'_, S, ()>) -> bool {
-        let version = Version::new(self.version.load(Ordering::Acquire) % VERSION_LIMIT);
+        let version = Version::new(self.core.version.load(Ordering::Acquire) % VERSION_LIMIT);
+        let shards = self.tx_shards();
+        let shards = shards.list();
         let mut repaired = false;
         // Phase 1: finish the Tary side (a torn stream leaves stale
         // entries here too), preserving ECNs.
-        for slot in &self.tary {
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                if id.version() != version {
-                    repaired = true;
-                    slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+        for shard in &shards {
+            for slot in &shard.tary {
+                let word = slot.load(Ordering::Relaxed);
+                if let Some(id) = Id::from_word(word) {
+                    if id.version() != version {
+                        repaired = true;
+                        slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+                    }
                 }
             }
         }
         S::fence(Ordering::SeqCst);
         // Phase 2: finish the Bary side.
-        for slot in &self.bary {
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                if id.version() != version {
-                    repaired = true;
-                    slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
+        for shard in &shards {
+            for slot in &shard.bary {
+                let word = slot.load(Ordering::Relaxed);
+                if let Some(id) = Id::from_word(word) {
+                    if id.version() != version {
+                        repaired = true;
+                        slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
+                    }
                 }
             }
         }
         if repaired {
             self.repairs.fetch_add(1, Ordering::Relaxed);
-            self.update_count.fetch_add(1, Ordering::Relaxed);
+            self.commit_tx();
         }
-        self.abandoned.store(false, Ordering::Release);
+        self.core.abandoned.store(false, Ordering::Release);
         // The repair completed the abandoned transaction, so its lease —
         // the stamp of the updater that died — is discharged too.
         self.clear_lease_stamp();
@@ -556,7 +797,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
         bary_slot: usize,
         target: u64,
     ) -> Option<Result<Ecn, CfiViolation>> {
-        let branch_word = self.bary[bary_slot].load(Ordering::Acquire);
+        let branch_word = self.bary_word_at(bary_slot);
         let target_word = self.load_tary_word(target);
         if branch_word == target_word {
             let id = Id::from_word(branch_word).expect("bary slots always hold valid ids");
@@ -593,11 +834,15 @@ impl<S: SyncFacade> IdTablesAt<S> {
         self.load_tary_word(target)
     }
 
-    /// The raw word in Bary slot `slot` — what `BaryLoad` reads. Returns 0
+    /// The raw word in Bary slot `slot` — what `BaryLoad` reads (through
+    /// the delta layering when attached to a shared image). Returns 0
     /// (an invalid ID) for out-of-range slots.
     #[inline]
     pub fn bary_word(&self, slot: usize) -> u32 {
-        self.bary.get(slot).map_or(0, |s| s.load(Ordering::Acquire))
+        if slot >= self.bary.len() {
+            return 0;
+        }
+        self.bary_word_at(slot)
     }
 
     /// The `TxUpdate` transaction (paper Fig. 3).
@@ -631,26 +876,31 @@ impl<S: SyncFacade> IdTablesAt<S> {
         bary_ecn: impl Fn(usize) -> Option<u32>,
         between: impl FnOnce(),
     ) -> UpdateStats {
-        let _guard = self.update_lock.lock();
+        let _guard = self.core.update_lock.lock();
         self.stamp_lease();
         self.chaos_warp_version();
-        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
-        self.version.store(next, Ordering::Release);
+        let next = (self.core.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
+        self.core.version.store(next, Ordering::Release);
         let version = Version::new(next);
+        let shards = self.tx_shards();
+        let shards = shards.list();
 
         // Phase 1: construct and install the new Tary table. Entry i
         // covers code address 4*i. Plain per-entry atomic stores model the
         // weak-ordered movnti copy: each ID update is individually atomic.
+        // On a shared image this is the batched half of the transaction:
+        // the transacting shard installs its new policy (delta-diffed
+        // against the base when attached), every sibling shard is
+        // re-stamped in place — one version bump retargets them all. The
+        // base is always first in the shard list, so a delta's diff
+        // compares against already-restamped base words.
         let mut tary_targets = 0;
-        for (i, slot) in self.tary.iter().enumerate() {
-            let word = match tary_ecn((i as u64) * 4) {
-                Some(ecn) => {
-                    tary_targets += 1;
-                    Id::encode(Ecn::new(ecn), version).word()
-                }
-                None => 0,
-            };
-            slot.store(word, Ordering::Relaxed);
+        for shard in &shards {
+            if std::ptr::eq(*shard, self) {
+                tary_targets = self.install_tary(&tary_ecn, version);
+            } else {
+                shard.restamp_tary(version);
+            }
         }
 
         // The memory write barrier separating the two phases (Fig. 3 line
@@ -671,19 +921,16 @@ impl<S: SyncFacade> IdTablesAt<S> {
 
         // Phase 2: rewrite the Bary table.
         let mut bary_branches = 0;
-        for (slot_idx, slot) in self.bary.iter().enumerate() {
-            let word = match bary_ecn(slot_idx) {
-                Some(ecn) => {
-                    bary_branches += 1;
-                    Id::encode(Ecn::new(ecn), version).word()
-                }
-                None => 0,
-            };
-            slot.store(word, Ordering::Release);
+        for shard in &shards {
+            if std::ptr::eq(*shard, self) {
+                bary_branches = self.install_bary(&bary_ecn, version);
+            } else {
+                shard.restamp_bary(version);
+            }
         }
 
         self.clear_lease_stamp();
-        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        let updates = self.commit_tx();
         UpdateStats {
             version: next,
             tary_targets,
@@ -691,6 +938,95 @@ impl<S: SyncFacade> IdTablesAt<S> {
             updates_since_reset: updates,
             completed: true,
         }
+    }
+
+    /// The Tary install loop of an update transaction: writes this
+    /// shard's new policy words. A private table (or the image base)
+    /// stores the encoded IDs directly; a delta shard diffs against the
+    /// base — equal words compress to 0 (fall through), revoked base
+    /// targets get the [`TOMBSTONE`]. Returns the policy's target count.
+    fn install_tary(&self, tary_ecn: &impl Fn(u64) -> Option<u32>, version: Version) -> usize {
+        let mut targets = 0;
+        for (i, slot) in self.tary.iter().enumerate() {
+            let word = match tary_ecn((i as u64) * 4) {
+                Some(ecn) => {
+                    targets += 1;
+                    let encoded = Id::encode(Ecn::new(ecn), version).word();
+                    match &self.base {
+                        Some(b) if b.raw_tary_word(i) == encoded => 0,
+                        _ => encoded,
+                    }
+                }
+                None => match &self.base {
+                    Some(b) if b.raw_tary_word(i) != 0 => TOMBSTONE,
+                    _ => 0,
+                },
+            };
+            slot.store(word, Ordering::Relaxed);
+        }
+        targets
+    }
+
+    /// The Bary install loop (phase 2 counterpart of
+    /// [`IdTablesAt::install_tary`]); Release stores as in Fig. 3.
+    fn install_bary(&self, bary_ecn: &impl Fn(usize) -> Option<u32>, version: Version) -> usize {
+        let mut branches = 0;
+        for (slot_idx, slot) in self.bary.iter().enumerate() {
+            let word = match bary_ecn(slot_idx) {
+                Some(ecn) => {
+                    branches += 1;
+                    let encoded = Id::encode(Ecn::new(ecn), version).word();
+                    match &self.base {
+                        Some(b) if b.raw_bary_word(slot_idx) == encoded => 0,
+                        _ => encoded,
+                    }
+                }
+                None => match &self.base {
+                    Some(b) if b.raw_bary_word(slot_idx) != 0 => TOMBSTONE,
+                    _ => 0,
+                },
+            };
+            slot.store(word, Ordering::Release);
+        }
+        branches
+    }
+
+    /// Re-stamps this shard's existing valid Tary IDs to `version`
+    /// (preserving ECNs); zeros and tombstones pass through untouched.
+    fn restamp_tary(&self, version: Version) -> usize {
+        let mut stamped = 0;
+        for slot in &self.tary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                stamped += 1;
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+            }
+        }
+        stamped
+    }
+
+    /// Bary-side counterpart of [`IdTablesAt::restamp_tary`].
+    fn restamp_bary(&self, version: Version) -> usize {
+        let mut stamped = 0;
+        for slot in &self.bary {
+            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
+                stamped += 1;
+                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
+            }
+        }
+        stamped
+    }
+
+    /// This shard's *own* stored Tary word (no delta fallthrough); 0 out
+    /// of range. What a delta's install diff reads from the base.
+    #[inline]
+    fn raw_tary_word(&self, idx: usize) -> u32 {
+        self.tary.get(idx).map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// This shard's *own* stored Bary word; 0 out of range.
+    #[inline]
+    fn raw_bary_word(&self, slot: usize) -> u32 {
+        self.bary.get(slot).map_or(0, |s| s.load(Ordering::Relaxed))
     }
 
     /// Re-stamps every existing ID with a fresh version, preserving ECNs.
@@ -720,31 +1056,43 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// ([`IdTables::repair_abandoned`]) — unlike a CFG-changing
     /// [`IdTables::update`], whose unfinished half cannot be reconstructed.
     fn restamp(&self, chunk: usize, pause: std::time::Duration) -> UpdateStats {
-        let _guard = self.update_lock.lock();
+        let _guard = self.core.update_lock.lock();
         self.stamp_lease();
         self.chaos_warp_version();
-        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
-        self.version.store(next, Ordering::Release);
+        let next = (self.core.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
+        self.core.version.store(next, Ordering::Release);
         let version = Version::new(next);
         let torn_after = self.chaos_fire(FaultPoint::TornTary);
+        let shards = self.tx_shards();
+        let shards = shards.list();
         let mut tary_targets = 0;
-        for (i, slot) in self.tary.iter().enumerate() {
-            if torn_after == Some(i as u64) {
-                // The Tary stream tears here: entries before `i` carry the
-                // new version, the rest (and all of Bary) the old one.
-                self.abandoned.store(true, Ordering::Release);
-                return self.aborted_stats(next, tary_targets, 0);
-            }
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                tary_targets += 1;
-                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
-            }
-            if chunk > 0 && i % chunk == chunk - 1 {
-                // Yield the core: on few-core hosts this is what lets the
-                // checking threads actually observe the mixed-version
-                // window, as they would on the paper's multicore machine.
-                std::thread::sleep(pause);
+        // `flat` indexes the concatenated Tary stream across shards, so a
+        // `torn-tary` fault parameter addresses a tear point anywhere in
+        // a shared image's sweep (and degenerates to the plain entry
+        // index for a private table).
+        let mut flat: u64 = 0;
+        for shard in &shards {
+            for (i, slot) in shard.tary.iter().enumerate() {
+                if torn_after == Some(flat) {
+                    // The Tary stream tears here: entries before `flat`
+                    // carry the new version, the rest (and all of Bary)
+                    // the old one.
+                    self.core.abandoned.store(true, Ordering::Release);
+                    return self.aborted_stats(next, tary_targets, 0);
+                }
+                flat += 1;
+                let word = slot.load(Ordering::Relaxed);
+                if let Some(id) = Id::from_word(word) {
+                    tary_targets += 1;
+                    slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
+                }
+                if chunk > 0 && i % chunk == chunk - 1 {
+                    // Yield the core: on few-core hosts this is what lets
+                    // the checking threads actually observe the mixed-
+                    // version window, as they would on the paper's
+                    // multicore machine.
+                    std::thread::sleep(pause);
+                }
             }
         }
         S::fence(Ordering::SeqCst);
@@ -752,22 +1100,18 @@ impl<S: SyncFacade> IdTablesAt<S> {
             // The updater dies between the phases: Tary wholly new,
             // Bary wholly old. The lock is released when the guard drops,
             // so an escalating checker can get in and repair.
-            self.abandoned.store(true, Ordering::Release);
+            self.core.abandoned.store(true, Ordering::Release);
             return self.aborted_stats(next, tary_targets, 0);
         }
         if let Some(micros) = self.chaos_fire(FaultPoint::UpdaterStall) {
             std::thread::sleep(std::time::Duration::from_micros(micros));
         }
         let mut bary_branches = 0;
-        for slot in &self.bary {
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                bary_branches += 1;
-                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
-            }
+        for shard in &shards {
+            bary_branches += shard.restamp_bary(version);
         }
         self.clear_lease_stamp();
-        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        let updates = self.commit_tx();
         UpdateStats {
             version: next,
             tary_targets,
@@ -784,7 +1128,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
             version: next,
             tary_targets,
             bary_branches,
-            updates_since_reset: self.update_count.load(Ordering::Relaxed),
+            updates_since_reset: self.core.update_count.load(Ordering::Relaxed),
             completed: false,
         }
     }
@@ -798,24 +1142,22 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// makes that approach outright infeasible — see
     /// [`crate::wide::WideIdTables::force_version`]).
     pub fn force_version(&self, raw: u32) {
-        let _guard = self.update_lock.lock();
+        let _guard = self.core.update_lock.lock();
         self.stamp_lease();
         let forced = raw % VERSION_LIMIT;
-        self.version.store(forced, Ordering::Release);
+        self.core.version.store(forced, Ordering::Release);
         let version = Version::new(forced);
-        for slot in &self.tary {
-            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
-                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
-            }
+        let shards = self.tx_shards();
+        let shards = shards.list();
+        for shard in &shards {
+            shard.restamp_tary(version);
         }
         S::fence(Ordering::SeqCst);
-        for slot in &self.bary {
-            if let Some(id) = Id::from_word(slot.load(Ordering::Relaxed)) {
-                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Release);
-            }
+        for shard in &shards {
+            shard.restamp_bary(version);
         }
         self.clear_lease_stamp();
-        self.update_count.fetch_add(1, Ordering::Relaxed);
+        self.commit_tx();
     }
 
     /// Begins a version re-stamp and returns after the **Tary phase**:
@@ -826,17 +1168,17 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// The update lock is held by the returned guard, exactly as the real
     /// update transaction holds it across both phases.
     pub fn bump_version_split(&self) -> SplitBump<'_, S> {
-        let guard = self.update_lock.lock();
+        let guard = self.core.update_lock.lock();
         self.stamp_lease();
         self.chaos_warp_version();
-        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
-        self.version.store(next, Ordering::Release);
+        let next = (self.core.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
+        self.core.version.store(next, Ordering::Release);
         let version = Version::new(next);
-        for slot in &self.tary {
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
-            }
+        // The registry cannot change while `guard` is held, so finish()
+        // resolving the shard list again sees the same set.
+        let shards = self.tx_shards();
+        for shard in &shards.list() {
+            shard.restamp_tary(version);
         }
         S::fence(Ordering::SeqCst);
         SplitBump { tables: self, version, finished: false, _guard: guard }
@@ -848,13 +1190,13 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// check transaction (§5.2); the runtime monitors this counter and
     /// resets it at quiescent points via [`IdTables::reset_update_count`].
     pub fn updates_since_reset(&self) -> u64 {
-        self.update_count.load(Ordering::Relaxed)
+        self.core.update_count.load(Ordering::Relaxed)
     }
 
     /// Resets the ABA update counter once every thread has been observed at
     /// a quiescent point (e.g. a system call — paper §5.2).
     pub fn reset_update_count(&self) {
-        self.update_count.store(0, Ordering::Relaxed);
+        self.core.update_count.store(0, Ordering::Relaxed);
     }
 
     /// Loads the 4-byte word the hardware would fetch from the Tary region
@@ -868,15 +1210,15 @@ impl<S: SyncFacade> IdTablesAt<S> {
         if idx >= self.tary.len() {
             return 0; // outside the code region: never a valid ID
         }
-        let lo = self.tary[idx].load(Ordering::Acquire);
+        // Each straddled entry resolves through the delta layering
+        // *independently* — the hardware analogue is a copy-on-write
+        // page mapping, where adjacent words can come from different
+        // physical pages.
+        let lo = self.tary_word_at(idx);
         if off == 0 {
             return lo;
         }
-        let hi = if idx + 1 < self.tary.len() {
-            self.tary[idx + 1].load(Ordering::Acquire)
-        } else {
-            0
-        };
+        let hi = self.tary_word_at(idx + 1);
         let mut bytes = [0u8; 8];
         bytes[..4].copy_from_slice(&lo.to_le_bytes());
         bytes[4..].copy_from_slice(&hi.to_le_bytes());
@@ -895,9 +1237,9 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// trace); nothing else may call it.
     #[doc(hidden)]
     pub fn bump_version_bary_first_for_tests(&self) -> UpdateStats {
-        let _guard = self.update_lock.lock();
-        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
-        self.version.store(next, Ordering::Release);
+        let _guard = self.core.update_lock.lock();
+        let next = (self.core.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
+        self.core.version.store(next, Ordering::Release);
         let version = Version::new(next);
         let mut bary_branches = 0;
         for slot in &self.bary {
@@ -914,7 +1256,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
                 slot.store(Id::encode(id.ecn(), version).word(), Ordering::Relaxed);
             }
         }
-        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        let updates = self.commit_tx();
         UpdateStats {
             version: next,
             tary_targets,
@@ -936,8 +1278,8 @@ impl<S: SyncFacade> IdTablesAt<S> {
         tary_ecn: impl Fn(u64) -> Option<u32>,
         bary_ecn: impl Fn(usize) -> Option<u32>,
     ) -> UpdateStats {
-        let _guard = self.update_lock.lock();
-        let version = Version::new(self.version.load(Ordering::Relaxed) % VERSION_LIMIT);
+        let _guard = self.core.update_lock.lock();
+        let version = Version::new(self.core.version.load(Ordering::Relaxed) % VERSION_LIMIT);
         let mut tary_targets = 0;
         for (i, slot) in self.tary.iter().enumerate() {
             let word = match tary_ecn((i as u64) * 4) {
@@ -961,7 +1303,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
             };
             slot.store(word, Ordering::Release);
         }
-        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        let updates = self.commit_tx();
         UpdateStats {
             version: version.raw(),
             tary_targets,
@@ -981,9 +1323,9 @@ impl<S: SyncFacade> IdTablesAt<S> {
     /// sweep must catch it); nothing else may call it.
     #[doc(hidden)]
     pub fn bump_version_late_lease_for_tests(&self) -> UpdateStats {
-        let _guard = self.update_lock.lock();
-        let next = (self.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
-        self.version.store(next, Ordering::Release);
+        let _guard = self.core.update_lock.lock();
+        let next = (self.core.version.load(Ordering::Relaxed) + 1) % VERSION_LIMIT;
+        self.core.version.store(next, Ordering::Release);
         let version = Version::new(next);
         let mut tary_targets = 0;
         for slot in &self.tary {
@@ -1004,7 +1346,7 @@ impl<S: SyncFacade> IdTablesAt<S> {
             }
         }
         self.clear_lease_stamp();
-        let updates = self.update_count.fetch_add(1, Ordering::Relaxed) + 1;
+        let updates = self.commit_tx();
         UpdateStats {
             version: next,
             tary_targets,
@@ -1035,14 +1377,12 @@ impl<S: SyncFacade> std::fmt::Debug for SplitBump<'_, S> {
 impl<S: SyncFacade> SplitBump<'_, S> {
     /// Runs the Bary phase, committing the new version.
     pub fn finish(mut self) {
-        for slot in &self.tables.bary {
-            let word = slot.load(Ordering::Relaxed);
-            if let Some(id) = Id::from_word(word) {
-                slot.store(Id::encode(id.ecn(), self.version).word(), Ordering::Release);
-            }
+        let shards = self.tables.tx_shards();
+        for shard in &shards.list() {
+            shard.restamp_bary(self.version);
         }
         self.tables.clear_lease_stamp();
-        self.tables.update_count.fetch_add(1, Ordering::Relaxed);
+        self.tables.commit_tx();
         self.finished = true;
     }
 }
@@ -1057,7 +1397,7 @@ impl<S: SyncFacade> Drop for SplitBump<'_, S> {
     /// the stall that bounded checks report as `CheckStalled`.
     fn drop(&mut self) {
         if !self.finished {
-            self.tables.abandoned.store(true, Ordering::Release);
+            self.tables.core.abandoned.store(true, Ordering::Release);
         }
     }
 }
@@ -1069,20 +1409,25 @@ pub struct TaryView<'a, S: SyncFacade = StdSync> {
 }
 
 impl<S: SyncFacade> TaryView<'_, S> {
-    /// The decoded ID for 4-byte-aligned code address `addr`, if any.
+    /// The decoded ID for 4-byte-aligned code address `addr`, if any —
+    /// through the delta layering, so this is the *effective* policy.
     pub fn id_at(&self, addr: u64) -> Option<Id> {
         if !addr.is_multiple_of(4) {
             return None;
         }
         let idx = (addr / 4) as usize;
-        let word = self.tables.tary.get(idx)?.load(Ordering::Acquire);
-        Id::from_word(word)
+        if idx >= self.tables.tary.len() {
+            return None;
+        }
+        Id::from_word(self.tables.tary_word_at(idx))
     }
 
-    /// Iterates over `(address, id)` pairs for all current targets.
+    /// Iterates over `(address, id)` pairs for all current effective
+    /// targets (delta entries layered over the base; tombstoned entries
+    /// are invalid and skipped).
     pub fn targets(&self) -> impl Iterator<Item = (u64, Id)> + '_ {
-        self.tables.tary.iter().enumerate().filter_map(|(i, slot)| {
-            Id::from_word(slot.load(Ordering::Acquire)).map(|id| ((i as u64) * 4, id))
+        (0..self.tables.tary.len()).filter_map(|i| {
+            Id::from_word(self.tables.tary_word_at(i)).map(|id| ((i as u64) * 4, id))
         })
     }
 }

@@ -8,7 +8,10 @@
 //! Seeds 1–3 are fixed (the ISSUE's contract); `MCFI_CHAOS_SEED` shifts
 //! the whole matrix for CI soak runs.
 
-use mcfi::{BuildOptions, FaultPlan, Outcome, ProcessOptions, RunResult, System, ViolationPolicy};
+use mcfi::{
+    compile_module, standard_modules, BuildOptions, FaultPlan, Outcome, ProcessOptions, RunResult,
+    SharedImage, System, ViolationPolicy,
+};
 use mcfi_workloads::{source, Variant, BENCHMARKS};
 
 /// Matrix shift for CI: seed k becomes `base + k`.
@@ -110,6 +113,113 @@ fn assert_translation_differential(what: &str, src: &str, seed: u64) {
 
     assert_eq!(interp.trans_dispatches, 0, "{what}: interpreted run must not use the tier");
     assert!(trans.trans_dispatches > 0, "{what}: translated run must dispatch blocks");
+}
+
+/// Like [`observe`], but attached to a [`SharedImage`]: the same module
+/// set ([stubs, libms, program, start], matching
+/// `System::boot_modules_with` order) is published once into a shared
+/// base, and the instrumented process runs through a copy-on-write
+/// delta shard layered over it. Everything else — chaos plan, scripted
+/// updater, audit policy — is identical to the private arm.
+fn observe_shared(src: &str, plan: FaultPlan) -> (RunResult, Vec<String>, Vec<String>) {
+    let build = BuildOptions::default();
+    let [stubs, libms, start] = standard_modules(&build).expect("standard modules compile");
+    let program = compile_module("program", src, &build).expect("guest compiles");
+    let proc_opts = ProcessOptions {
+        max_steps: STEP_BUDGET,
+        violation_policy: ViolationPolicy::Audit,
+        ..Default::default()
+    };
+    let image = SharedImage::build(vec![stubs, libms, program, start], proc_opts)
+        .expect("image builds");
+    let mut p = image.attach().expect("attaches");
+    assert_eq!(image.attached(), 1, "the run must go through an attached delta");
+    let epoch0 = image.epoch();
+    let injector = p.arm_chaos(plan);
+    let r = p.run_with_updates("__start", UPDATE_INTERVAL, UPDATE_WINDOW).expect("runs");
+    assert!(
+        image.epoch() - epoch0 >= r.updates,
+        "every scripted update must commit an image-wide publication"
+    );
+    let fired = injector.fired().iter().map(|f| format!("{f:?}")).collect();
+    let log = p.violation_log();
+    let mut records: Vec<String> = log.records().iter().map(|v| format!("{v:?}")).collect();
+    records.push(format!("dropped={}", log.dropped()));
+    records.push(format!("total={}", log.total()));
+    (r, records, fired)
+}
+
+/// The sharing equality contract: a process attached to a shared image
+/// must be observationally indistinguishable from one owning private
+/// tables — same steps, cycles, checks, audit log, and fired-fault
+/// sequence — because the delta shard falls through to base words that
+/// are byte-for-byte the private table's words, and the scripted
+/// updater's image-wide sweeps restamp exactly the same ID sequence.
+fn assert_shared_differential(what: &str, src: &str, seed: u64) {
+    let plan = FaultPlan::random(seed, 4);
+    let (shared, log_s, fired_s) = observe_shared(src, plan.clone());
+    let (private, log_p, fired_p) = observe(src, ProcessOptions::default().predecode, plan);
+
+    assert_eq!(shared.outcome, private.outcome, "{what}: outcome");
+    assert_eq!(shared.stdout, private.stdout, "{what}: stdout");
+    assert_eq!(shared.steps, private.steps, "{what}: steps");
+    assert_eq!(shared.cycles, private.cycles, "{what}: cycles");
+    assert_eq!(shared.checks, private.checks, "{what}: checks");
+    assert_eq!(shared.indirect_taken, private.indirect_taken, "{what}: indirect branches");
+    assert_eq!(shared.updates, private.updates, "{what}: updates");
+    assert_eq!(shared.check_retries, private.check_retries, "{what}: guest check retries");
+    assert_eq!(
+        shared.audited_violations, private.audited_violations,
+        "{what}: audited violations"
+    );
+    assert_eq!(log_s, log_p, "{what}: violation log");
+    assert_eq!(fired_s, fired_p, "{what}: fired faults");
+}
+
+/// The shared-vs-private sweep: all twelve workloads under seeds 1–3,
+/// each with a random fault plan armed and scripted update windows
+/// opening mid-run, once through private tables and once attached to a
+/// [`SharedImage`] — byte-identical observables prove the delta
+/// layering exact under chaos.
+#[test]
+fn workloads_are_sharing_invariant_under_chaos() {
+    for bench in BENCHMARKS {
+        let src = source(bench, Variant::Fixed);
+        for k in 1..=3u64 {
+            assert_shared_differential(
+                &format!("{bench} seed {k} (shared image)"),
+                &src,
+                seed_base() + k,
+            );
+        }
+    }
+}
+
+/// The violating program through a shared image: non-empty audit logs
+/// must still match record for record, so the sharing sweep above is
+/// not vacuously comparing empty logs.
+#[test]
+fn violating_program_audit_logs_are_sharing_invariant() {
+    let src = "float g(float x) { return x; }\n\
+         int main(void) {\n\
+           void* raw = (void*)&g;\n\
+           int (*f)(int) = (int(*)(int))raw;\n\
+           int acc = 0; int i = 0;\n\
+           while (i < 60) { acc = acc + f(i); i = i + 1; }\n\
+           return 7;\n\
+         }";
+    for k in 1..=3u64 {
+        let seed = seed_base() + k;
+        let plan = FaultPlan::random(seed, 4);
+        let (shared, log_s, fired_s) = observe_shared(src, plan.clone());
+        let (private, log_p, fired_p) =
+            observe(src, ProcessOptions::default().predecode, plan);
+        assert_eq!(shared.outcome, private.outcome, "seed {seed}: outcome");
+        assert_eq!(shared.audited_violations, private.audited_violations, "seed {seed}");
+        assert!(shared.audited_violations >= 60, "seed {seed}: every hijacked call audited");
+        assert_eq!(log_s, log_p, "seed {seed}: violation log");
+        assert_eq!(fired_s, fired_p, "seed {seed}: fired faults");
+    }
 }
 
 /// The full matrix: all twelve workloads under seeds 1–3 each. The

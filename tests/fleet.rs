@@ -15,6 +15,7 @@ fn spec_for(name: &str, src: &str, popts: ProcessOptions) -> TenantSpec {
     let prog = compile_module("prog", src, &build).expect("guest compiles");
     TenantSpec {
         name: name.to_string(),
+        image: None,
         modules: vec![stubs, libms, prog, start],
         libraries: Vec::new(),
         entry: "__start".to_string(),
@@ -83,6 +84,7 @@ fn storm_opts() -> FleetOptions {
         shed_threshold_pct: 100,
         max_steps_per_request: 2_000_000,
         record_results: true,
+        threads: 1,
     }
 }
 

@@ -1,0 +1,122 @@
+//! Shared-image acceptance tests: attached processes behave exactly
+//! like privately booted ones, and one batched `TxUpdate` against a
+//! `SharedImage` observably retargets every attached process.
+
+use std::collections::HashMap;
+
+use mcfi::{
+    compile_module, standard_modules, BuildOptions, Id, Module, Outcome, Process,
+    ProcessOptions, SharedImage,
+};
+
+const GUEST: &str = "int add3(int x) { return x + 3; }\n\
+     int mul2(int x) { return x * 2; }\n\
+     int main(void) {\n\
+       int (*f)(int) = &add3;\n\
+       int (*g)(int) = &mul2;\n\
+       return f(g(10));\n\
+     }";
+
+fn image_modules(src: &str) -> Vec<Module> {
+    let build = BuildOptions::default();
+    let [stubs, libms, start] = standard_modules(&build).expect("standard modules compile");
+    let prog = compile_module("prog", src, &build).expect("guest compiles");
+    vec![stubs, libms, prog, start]
+}
+
+#[test]
+fn an_attached_process_runs_byte_identical_to_a_private_boot() {
+    let modules = image_modules(GUEST);
+    let opts = ProcessOptions::default();
+
+    let mut private = Process::new(opts).expect("private boot");
+    private.load_all(modules.clone()).expect("private load");
+    let private_result = private.run("__start").expect("private run");
+
+    let image = SharedImage::build(modules, opts).expect("image builds");
+    let mut attached = image.attach().expect("attach");
+    let attached_result = attached.run("__start").expect("attached run");
+
+    assert_eq!(private_result, attached_result, "sharing must be invisible to the guest");
+    assert_eq!(attached_result.outcome, Outcome::Exit { code: 23 });
+}
+
+#[test]
+fn attached_processes_are_isolated_from_each_other() {
+    let image = SharedImage::build(image_modules(GUEST), ProcessOptions::default())
+        .expect("image builds");
+    let mut a = image.attach().expect("attach a");
+    let mut b = image.attach().expect("attach b");
+    let ra = a.run("__start").expect("a runs");
+    // Running `a` (and any table churn it causes) must not perturb `b`.
+    let rb = b.run("__start").expect("b runs");
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn one_batched_txupdate_retargets_four_attached_processes() {
+    let image = SharedImage::build(image_modules(GUEST), ProcessOptions::default())
+        .expect("image builds");
+    let mut procs: Vec<Process> = (0..4).map(|i| {
+        image.attach().unwrap_or_else(|e| panic!("attach {i}: {e}"))
+    }).collect();
+    assert_eq!(image.attached(), 4);
+
+    // Pick a real branch/target pair from the image policy, and a fresh
+    // in-code-region address that is *not* currently a target.
+    let base = image.tables().base();
+    let (target_addr, target_id) =
+        base.tary_view().targets().next().expect("the image has targets");
+    let ecn = target_id.ecn().raw();
+    let slot = (0..base.bary_len())
+        .find(|&s| {
+            Id::from_word(base.bary_word(s)).is_some_and(|id| id.ecn() == target_id.ecn())
+        })
+        .expect("some branch shares the target's class");
+    let fresh_addr = (0..base.tary_len() as u64)
+        .map(|i| i * 4)
+        .find(|a| base.tary_view().id_at(*a).is_none() && *a != target_addr)
+        .expect("a spare aligned address exists");
+
+    let before: Vec<u64> = procs.iter().map(|p| p.tables().publication_epoch()).collect();
+    for p in &procs {
+        assert!(p.tables().check(slot, fresh_addr).is_err(), "not yet a target");
+    }
+
+    // ONE batched update: the old policy plus `fresh_addr` joining the
+    // target's equivalence class.
+    let tary: HashMap<u64, u32> =
+        base.tary_view().targets().map(|(a, id)| (a, id.ecn().raw())).collect();
+    let bary: Vec<Option<u32>> = (0..base.bary_len())
+        .map(|s| Id::from_word(base.bary_word(s)).map(|id| id.ecn().raw()))
+        .collect();
+    let stats = image.retarget_all(
+        move |addr| if addr == fresh_addr { Some(ecn) } else { tary.get(&addr).copied() },
+        move |s| bary.get(s).copied().flatten(),
+    );
+    assert!(stats.completed);
+
+    // Every attached process observed the single transaction: epoch
+    // bumped once, the new edge is legal, and versions agree image-wide.
+    for (p, epoch_before) in procs.iter().zip(before) {
+        let t = p.tables();
+        assert_eq!(t.publication_epoch(), epoch_before + 1, "one commit, seen by all");
+        assert!(t.check(slot, fresh_addr).is_ok(), "retargeted through the shared base");
+        assert!(t.check(slot, target_addr).is_ok(), "old edges survive");
+        assert_eq!(t.current_version(), base.current_version());
+    }
+
+    // And the guests still run to their normal result afterwards.
+    for p in &mut procs {
+        assert_eq!(p.run("__start").expect("runs").outcome, Outcome::Exit { code: 23 });
+    }
+}
+
+#[test]
+fn attaching_with_a_mismatched_layout_is_rejected() {
+    let image = SharedImage::build(image_modules(GUEST), ProcessOptions::default())
+        .expect("image builds");
+    let mut opts = image.options();
+    opts.bary_capacity /= 2;
+    assert!(image.attach_with(opts).is_err(), "table sizing must match the image");
+}
