@@ -94,10 +94,38 @@ pub enum FaultPoint {
     /// its own, forcing the cross-worker migration path. Only reached
     /// by the multithreaded fleet scheduler (past [`RUNTIME_POINTS`]).
     StealBias,
+    /// A network segment is dropped in flight: the server never sees
+    /// the delivery attempt and the client waits out its deadline, then
+    /// retries with backoff (param unused). Only reached by the
+    /// `mcfi-netsim` delivery path (past [`RUNTIME_POINTS`]); draw it
+    /// with [`FaultPlan::random_net`] or arm it with [`FaultPlan::with`].
+    NetDrop,
+    /// A network segment is corrupted in flight: the byte at offset
+    /// `param % len` of the encoded segment is xored with `0x5a`, so the
+    /// server's checksum rejects it and the client retransmits a clean
+    /// copy. Netsim-only (past [`RUNTIME_POINTS`]).
+    NetCorrupt,
+    /// Two adjacent segments swap delivery order: the current segment is
+    /// held back and delivered *after* the next one, exercising the
+    /// server's out-of-order rejection and the client's go-back-N
+    /// retransmission. Netsim-only (past [`RUNTIME_POINTS`]).
+    NetReorder,
+    /// An adversarial peer injects a blind RST for connection
+    /// `param % conns` before the real segment is delivered. The forged
+    /// reset carries a sequence number that can never match an
+    /// established connection's window, so the server must challenge and
+    /// ignore it (RFC 5961-style) rather than tear the connection down.
+    /// Netsim-only (past [`RUNTIME_POINTS`]).
+    PeerAbort,
+    /// A slowloris peer stalls mid-request: delivery of the segment is
+    /// delayed by `param` virtual ticks while the connection is held
+    /// open, burning the client's deadline budget and forcing a retry
+    /// when the stall exceeds it. Netsim-only (past [`RUNTIME_POINTS`]).
+    SlowlorisStall,
 }
 
 /// Every fault point, in wire-format order.
-pub const ALL_POINTS: [FaultPoint; 13] = [
+pub const ALL_POINTS: [FaultPoint; 18] = [
     FaultPoint::UpdaterCrash,
     FaultPoint::UpdaterStall,
     FaultPoint::TornTary,
@@ -111,16 +139,36 @@ pub const ALL_POINTS: [FaultPoint; 13] = [
     FaultPoint::TransInvalidate,
     FaultPoint::WorkerStall,
     FaultPoint::StealBias,
+    FaultPoint::NetDrop,
+    FaultPoint::NetCorrupt,
+    FaultPoint::NetReorder,
+    FaultPoint::PeerAbort,
+    FaultPoint::SlowlorisStall,
+];
+
+/// The network-layer fault points, in wire-format order: the sites the
+/// `mcfi-netsim` delivery path fires while perturbing traffic. Kept past
+/// [`RUNTIME_POINTS`] so table-layer random plans replay identically
+/// whether or not a network harness is attached; [`FaultPlan::random_net`]
+/// draws from exactly this set.
+pub const NET_POINTS: [FaultPoint; 5] = [
+    FaultPoint::NetDrop,
+    FaultPoint::NetCorrupt,
+    FaultPoint::NetReorder,
+    FaultPoint::PeerAbort,
+    FaultPoint::SlowlorisStall,
 ];
 
 /// The number of leading [`ALL_POINTS`] entries that [`FaultPlan::random`]
 /// draws from: the sites reachable on *any* wall-clock run. The trailing
 /// points are excluded — `sched-point` only fires under the model
 /// checker's deterministic scheduler, `trans-invalidate` only on
-/// translated-tier runs, and `worker-stall` / `steal-bias` only inside
-/// the multithreaded fleet scheduler (a random plan must fire
-/// identically, seed for seed, whichever execution tier or thread count
-/// replays it). Arm those explicitly with [`FaultPlan::with`].
+/// translated-tier runs, `worker-stall` / `steal-bias` only inside
+/// the multithreaded fleet scheduler, and the [`NET_POINTS`] only on the
+/// `mcfi-netsim` delivery path (a random plan must fire identically,
+/// seed for seed, whichever execution tier, thread count, or traffic
+/// harness replays it). Arm those explicitly with [`FaultPlan::with`],
+/// or draw network plans from [`FaultPlan::random_net`].
 pub const RUNTIME_POINTS: usize = 9;
 
 impl FaultPoint {
@@ -144,6 +192,11 @@ impl FaultPoint {
             FaultPoint::TransInvalidate => "trans-invalidate",
             FaultPoint::WorkerStall => "worker-stall",
             FaultPoint::StealBias => "steal-bias",
+            FaultPoint::NetDrop => "net-drop",
+            FaultPoint::NetCorrupt => "net-corrupt",
+            FaultPoint::NetReorder => "net-reorder",
+            FaultPoint::PeerAbort => "peer-abort",
+            FaultPoint::SlowlorisStall => "slowloris-stall",
         }
     }
 }
@@ -235,6 +288,34 @@ impl FaultPlan {
                     // Byte offset to corrupt, reduced mod the image
                     // length at the injection site.
                     FaultPoint::MalformedImage => rng.next() % 4096,
+                    _ => 0,
+                };
+                PlannedFault { point, nth, param }
+            })
+            .collect();
+        FaultPlan { seed, faults }
+    }
+
+    /// Generates a random *network* plan of `count` faults from `seed`,
+    /// drawing only from [`NET_POINTS`].
+    ///
+    /// Deterministic like [`Self::random`], and deliberately a separate
+    /// stream: table-layer seeds keep their historical plans, and a
+    /// network seed yields the same traffic perturbation on every host.
+    /// Parameters stay survivable — stalls of at most 12 virtual ticks
+    /// (so a bounded retry budget always outlasts them), corrupt offsets
+    /// reduced mod the segment length at the injection site, and abort
+    /// targets reduced mod the connection count.
+    pub fn random_net(seed: u64, count: usize) -> Self {
+        let mut rng = XorShift64::new(seed ^ 0x6e65_7473_696d_u64); // "netsim"
+        let faults = (0..count)
+            .map(|_| {
+                let point = NET_POINTS[(rng.next() % NET_POINTS.len() as u64) as usize];
+                let nth = 1 + rng.next() % 6;
+                let param = match point {
+                    FaultPoint::NetCorrupt => rng.next() % 256,
+                    FaultPoint::PeerAbort => rng.next() % 64,
+                    FaultPoint::SlowlorisStall => 1 + rng.next() % 12,
                     _ => 0,
                 };
                 PlannedFault { point, nth, param }
@@ -547,6 +628,25 @@ mod tests {
         // Attempt 0 is treated like attempt 1's exponent.
         let b = Backoff::new(3, 16);
         assert_eq!(b.delay("x", 0) & !15, 16);
+    }
+
+    #[test]
+    fn random_net_plans_draw_only_net_points() {
+        for seed in [1u64, 2, 3, 42] {
+            let a = FaultPlan::random_net(seed, 6);
+            let b = FaultPlan::random_net(seed, 6);
+            assert_eq!(a, b, "seed {seed} must be deterministic");
+            assert_eq!(a.faults.len(), 6);
+            assert!(a.faults.iter().all(|f| NET_POINTS.contains(&f.point)));
+            assert_eq!(FaultPlan::parse(&a.wire()).unwrap(), a);
+            // The network stream is independent of the table stream:
+            // same seed, disjoint point sets.
+            assert!(FaultPlan::random(seed, 6)
+                .faults
+                .iter()
+                .all(|f| !NET_POINTS.contains(&f.point)));
+        }
+        assert_ne!(FaultPlan::random_net(1, 6), FaultPlan::random_net(2, 6));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Property coverage for the hand-rolled [`FaultPlan`] wire format: every
+//! representable plan — any point (including the network-layer points),
+//! any occurrence, any param, any length — must survive a
+//! display → parse round-trip exactly, and the parser must never accept
+//! a wire line that renders back differently.
+
+use proptest::prelude::*;
+
+use mcfi_chaos::{FaultPlan, PlannedFault, ALL_POINTS, NET_POINTS};
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            (0usize..ALL_POINTS.len(), any::<u64>(), any::<u64>()),
+            0usize..9,
+        ),
+    )
+        .prop_map(|(seed, faults)| FaultPlan {
+            seed,
+            faults: faults
+                .into_iter()
+                .map(|(p, nth, param)| PlannedFault { point: ALL_POINTS[p], nth, param })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// wire → parse is the identity on every representable plan,
+    /// `Display` agrees with `wire`, and re-serializing the parse is a
+    /// fixed point (no silent canonicalization drift).
+    #[test]
+    fn wire_round_trips_any_plan(plan in plan_strategy()) {
+        let wire = plan.wire();
+        prop_assert_eq!(&format!("{plan}"), &wire);
+        let parsed = FaultPlan::parse(&wire)
+            .map_err(|e| TestCaseError::fail(format!("{wire:?} failed to parse: {e}")))?;
+        prop_assert_eq!(&parsed, &plan);
+        prop_assert_eq!(&parsed.wire(), &wire);
+    }
+
+    /// Seeded generators (table-layer and network-layer streams) only
+    /// emit plans the wire format can carry, and the two streams stay
+    /// disjoint: random table plans never name a net point and random
+    /// net plans never name anything else.
+    #[test]
+    fn generated_plans_round_trip(seed in any::<u64>(), count in 0usize..12) {
+        for plan in [FaultPlan::random(seed, count), FaultPlan::random_net(seed, count)] {
+            let parsed = FaultPlan::parse(&plan.wire())
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", plan.wire())))?;
+            prop_assert_eq!(parsed, plan);
+        }
+        let table = FaultPlan::random(seed, count);
+        prop_assert!(table.faults.iter().all(|f| !NET_POINTS.contains(&f.point)));
+        let net = FaultPlan::random_net(seed, count);
+        prop_assert!(net.faults.iter().all(|f| NET_POINTS.contains(&f.point)));
+    }
+}

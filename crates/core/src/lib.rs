@@ -61,8 +61,13 @@ pub use mcfi_runtime::{
 };
 pub use mcfi_chaos::Backoff;
 pub use mcfi_fleet::{
-    solo_replay, tenant_plan, Fleet, FleetError, FleetOptions, FleetStats, RestartStrategy,
-    Schedule, Storm, StormKind, TenantHealth, TenantSpec, TenantStats, WorkerStats,
+    solo_replay, tenant_plan, Fleet, FleetError, FleetOptions, FleetStats, FleetVerdict,
+    RestartStrategy, Schedule, Storm, StormKind, TenantHealth, TenantSpec, TenantStats,
+    WorkerStats,
+};
+pub use mcfi_netsim::{
+    tenant_spec as net_tenant_spec, NetConfig, NetOutcome, NetServer, NetStats, NetVerdict,
+    PacketGen, Segment, TrafficSpec,
 };
 pub use mcfi_supervisor::{RecoveryPolicy, Supervisor, SupervisorError, SupervisorStats};
 pub use mcfi_tables::{Ecn, Id, SharedTables, WatchdogVerdict};

@@ -300,6 +300,23 @@ pub struct TenantStats {
     pub supervisor: SupervisorStats,
 }
 
+/// Fleet-level health verdict, derived from the counters: work that was
+/// dropped is named as such instead of vanishing into a served/requests
+/// gap. The `SupervisorError::Wedged`-style contract, lifted to the
+/// fleet: load shedding is a *verdict*, not a silent subtraction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum FleetVerdict {
+    /// Every scheduled request was served and every tenant ended healthy.
+    Healthy,
+    /// No fleet-wide load shedding, but some work was shed by bans or
+    /// open circuit breakers, or some tenant ended below
+    /// [`TenantHealth::Healthy`].
+    Degraded,
+    /// Fleet-wide load shedding activated: at least one request was
+    /// dropped because too many tenants were unhealthy at once.
+    Shedding,
+}
+
 /// Fleet-level rollup plus the per-tenant breakdown.
 #[derive(Clone, PartialEq, Debug, Serialize)]
 pub struct FleetStats {
@@ -321,6 +338,9 @@ pub struct FleetStats {
     pub faults_fired: u64,
     /// Order-sensitive fold of the per-tenant digests.
     pub digest: u64,
+    /// Whether the fleet served everything, degraded, or load-shed work
+    /// (see [`FleetVerdict`]).
+    pub verdict: FleetVerdict,
     /// Per-tenant breakdown, in tenant order.
     pub per_tenant: Vec<TenantStats>,
     /// Per-worker breakdown of the most recent multithreaded drive
@@ -739,19 +759,31 @@ impl Fleet {
             steps: 0,
             faults_fired: 0,
             digest: 0,
+            verdict: FleetVerdict::Healthy,
             per_tenant,
             workers: self.workers.clone(),
         };
+        let mut overload_shed = 0u64;
         for s in &roll.per_tenant {
             roll.requests += s.requests;
             roll.served += s.served;
             roll.shed += s.banned_sheds + s.breaker_sheds + s.overload_sheds;
+            overload_shed += s.overload_sheds;
             roll.restarts += s.restarts;
             roll.bans += u64::from(s.health == TenantHealth::Banned);
             roll.steps += s.steps;
             roll.faults_fired += s.faults_fired;
             roll.digest = roll.digest.rotate_left(13) ^ s.digest;
         }
+        let all_healthy =
+            roll.per_tenant.iter().all(|s| s.health == TenantHealth::Healthy);
+        roll.verdict = if overload_shed > 0 {
+            FleetVerdict::Shedding
+        } else if roll.shed > 0 || !all_healthy {
+            FleetVerdict::Degraded
+        } else {
+            FleetVerdict::Healthy
+        };
         roll
     }
 }
@@ -961,6 +993,7 @@ mod tests {
         assert_eq!(s.shed, 0);
         assert_eq!(s.restarts, 0);
         assert_eq!(s.bans, 0);
+        assert_eq!(s.verdict, FleetVerdict::Healthy);
         for t in &s.per_tenant {
             assert_eq!(t.health, TenantHealth::Healthy);
             assert_eq!(t.requests, 10, "round-robin splits evenly");
@@ -995,6 +1028,7 @@ mod tests {
         assert!(bad.banned_sheds > 0, "post-ban requests shed, not served");
         assert_eq!(bad.served, bad.failures as u64, "every served request violated");
         assert_eq!(s.bans, 1);
+        assert_eq!(s.verdict, FleetVerdict::Degraded, "bans degrade the fleet without overload");
     }
 
     #[test]
@@ -1067,6 +1101,7 @@ mod tests {
         assert!(deg.supervisor.recoveries > 0, "{deg:?}");
         assert!(deg.overload_sheds > 0, "overload shed the degraded tenant: {deg:?}");
         assert!(deg.served > 0, "it served before the fleet overloaded");
+        assert_eq!(s.verdict, FleetVerdict::Shedding, "load shedding is a verdict, not a silent drop");
     }
 
     #[test]
@@ -1109,6 +1144,7 @@ mod tests {
         assert!(json.contains("\"tenants\":1"), "{json}");
         assert!(json.contains("\"per_tenant\":[{"), "{json}");
         assert!(json.contains("\"health\":\"Healthy\""), "{json}");
+        assert!(json.contains("\"verdict\":\"Healthy\""), "{json}");
         assert!(json.contains("\"supervisor\":{\"runs\":3"), "{json}");
     }
 }

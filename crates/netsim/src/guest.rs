@@ -1,0 +1,310 @@
+//! The MiniC guest: a TCP-style server whose protocol handlers are
+//! dispatched through a function-pointer table living in a separately
+//! loaded (and hot-reloadable) module.
+//!
+//! State machine per connection slot: `0` CLOSED → `1` SYN_RCVD
+//! (half-open) → `2` ESTABLISHED → `0` again on FIN or a genuine RST.
+//! Responses are 4 bytes `[conn, code, info, digest]` (data responses
+//! append a transformed payload echo). Codes below 97 are *final*
+//! accepts; 97–100 are *transient* rejections the client retries
+//! (go-back-N); 110 is a final protocol error.
+//!
+//! Robustness properties the host relies on:
+//!
+//! * Checksums reject any in-flight corruption (code 97) without state
+//!   change, so a retransmitted clean copy settles identically.
+//! * Out-of-order or out-of-state segments are rejected transiently
+//!   (code 98) without state change — the client's retransmission
+//!   discipline settles them, so `net-reorder` cannot perturb the
+//!   settled stream.
+//! * Blind resets (sequence mismatch — every chaos-forged `peer-abort`)
+//!   are challenged (code 100) and ignored, RFC 5961-style: zero
+//!   established connections drop under forged-reset storms.
+//! * Past the half-open budget the server *sheds* the oldest half-open
+//!   connection (degraded mode) instead of refusing new work or
+//!   wedging; established connections are never shed.
+//!
+//! The handler modules v1/v2 compute byte-identical protocol functions
+//! through differently shaped code, so a mid-traffic hot-reload is
+//! observable (version tag, `dlopen` update transaction) while the
+//! response stream stays byte-identical.
+
+/// The library name the server hot-reloads handlers from.
+pub const RELOAD_LIBRARY: &str = "nethandlers_v2";
+
+/// Handler module v1, loaded at boot. All handlers share one signature
+/// (one MCFI equivalence class): the dispatch table is exactly the
+/// paper's function-pointer pattern.
+pub const HANDLERS_V1_SRC: &str = "\
+int nh_syn(int conn, int seq, int x) { return (conn * 7 + 13) % 113; }\n\
+int nh_data(int acc, int seq, int b) { return (acc * 31 + b + seq) % 65521; }\n\
+int nh_fin(int conn, int acc, int x) { return (acc + conn) % 113; }\n\
+int nh_rst(int conn, int seq, int expect) { if (seq == expect) { return 1; } return 0; }\n\
+int nh_bad(int conn, int flags, int st) { return (flags * 5 + st) % 113; }\n";
+
+/// Handler module v2, registered for `dlopen`: the same protocol
+/// functions computed through different code shapes, plus a version
+/// probe. Byte-identical responses are what lets the differential
+/// assert streams across a mid-traffic reload.
+pub const HANDLERS_V2_SRC: &str = "\
+int nh2_version(void) { return 2; }\n\
+int nh2_syn(int conn, int seq, int x) { int c = conn * 8 - conn + 13; return c % 113; }\n\
+int nh2_data(int acc, int seq, int b) { int t = acc * 32 - acc; return (t + b + seq) % 65521; }\n\
+int nh2_fin(int conn, int acc, int x) { int d = conn + acc; return d % 113; }\n\
+int nh2_rst(int conn, int seq, int expect) { int g = 0; if (expect == seq) { g = 1; } return g; }\n\
+int nh2_bad(int conn, int flags, int st) { int e = flags * 4 + flags + st; return e % 113; }\n";
+
+/// The server module source.
+///
+/// With `self_driving` false the guest handles one host-delivered
+/// segment per run (the [`crate::NetServer`] mailbox protocol); with it
+/// true the guest synthesizes its own traffic from an in-guest seeded
+/// generator — one segment per run — and periodically hot-reloads its
+/// handlers, which is the shape `mcfi-fleet` tenants use.
+pub fn server_source(self_driving: bool) -> String {
+    let mut src = String::from(
+        "\
+int dlopen(char* name);\n\
+void* dlsym(char* name);\n\
+\n\
+// host <-> guest mailbox\n\
+char net_rx[96];\n\
+int net_rx_len = 0;\n\
+char net_tx[96];\n\
+int net_tx_len = 0;\n\
+int net_ctl = 0;\n\
+\n\
+// connection table: 16 slots\n\
+int conn_state[16];\n\
+int conn_seq[16];\n\
+int conn_acc[16];\n\
+int half_open = 0;\n\
+int established = 0;\n\
+int shed_count = 0;\n\
+int degraded = 0;\n\
+int rst_challenged = 0;\n\
+int handler_version = 0;\n\
+int reload_fails = 0;\n\
+int served = 0;\n\
+\n\
+int (*net_h[5])(int, int, int);\n\
+\n\
+int net_respond(int conn, int code, int b2, int b3) {\n\
+  net_tx[0] = (char)conn;\n\
+  net_tx[1] = (char)code;\n\
+  net_tx[2] = (char)b2;\n\
+  net_tx[3] = (char)b3;\n\
+  net_tx_len = 4;\n\
+  return code;\n\
+}\n\
+\n\
+int net_bind(void) {\n\
+  net_h[0] = (int(*)(int,int,int))dlsym(\"nh_syn\");\n\
+  net_h[1] = (int(*)(int,int,int))dlsym(\"nh_data\");\n\
+  net_h[2] = (int(*)(int,int,int))dlsym(\"nh_fin\");\n\
+  net_h[3] = (int(*)(int,int,int))dlsym(\"nh_rst\");\n\
+  net_h[4] = (int(*)(int,int,int))dlsym(\"nh_bad\");\n\
+  if (!net_h[0] || !net_h[1] || !net_h[2] || !net_h[3] || !net_h[4]) { return 0; }\n\
+  handler_version = 1;\n\
+  return 1;\n\
+}\n\
+\n\
+int net_reload(void) {\n\
+  if (!dlopen(\"nethandlers_v2\")) { reload_fails = reload_fails + 1; return 0; }\n\
+  int (*s)(int, int, int) = (int(*)(int,int,int))dlsym(\"nh2_syn\");\n\
+  int (*d)(int, int, int) = (int(*)(int,int,int))dlsym(\"nh2_data\");\n\
+  int (*f)(int, int, int) = (int(*)(int,int,int))dlsym(\"nh2_fin\");\n\
+  int (*r)(int, int, int) = (int(*)(int,int,int))dlsym(\"nh2_rst\");\n\
+  int (*b)(int, int, int) = (int(*)(int,int,int))dlsym(\"nh2_bad\");\n\
+  if (!s || !d || !f || !r || !b) { reload_fails = reload_fails + 1; return 0; }\n\
+  net_h[0] = s;\n\
+  net_h[1] = d;\n\
+  net_h[2] = f;\n\
+  net_h[3] = r;\n\
+  net_h[4] = b;\n\
+  handler_version = 2;\n\
+  return 1;\n\
+}\n\
+\n\
+// Degraded mode: drop the oldest (lowest-slot) half-open connection.\n\
+int net_shed_half_open(void) {\n\
+  int i = 0;\n\
+  while (i < 16) {\n\
+    if (conn_state[i] == 1) {\n\
+      conn_state[i] = 0;\n\
+      conn_seq[i] = 0;\n\
+      conn_acc[i] = 0;\n\
+      half_open = half_open - 1;\n\
+      shed_count = shed_count + 1;\n\
+      return i;\n\
+    }\n\
+    i = i + 1;\n\
+  }\n\
+  return -1;\n\
+}\n\
+\n\
+int net_handle(void) {\n\
+  int n = net_rx_len;\n\
+  if (n < 5) { return net_respond(127, 110, 0, 0); }\n\
+  int conn = net_rx[0];\n\
+  int flags = net_rx[1];\n\
+  int seq = net_rx[2];\n\
+  int plen = net_rx[3];\n\
+  int sum = 7;\n\
+  int i = 0;\n\
+  while (i < n - 1) { sum = (sum + net_rx[i]) % 128; i = i + 1; }\n\
+  if (sum != net_rx[n - 1]) { return net_respond(127, 97, 0, 0); }\n\
+  if (plen < 0 || n != plen + 5) { return net_respond(127, 110, 1, 0); }\n\
+  if (conn < 0 || conn >= 16) { return net_respond(127, 110, 2, 0); }\n\
+  served = served + 1;\n\
+  int st = conn_state[conn];\n\
+  if (flags == 1) {\n\
+    if (st != 0) { return net_respond(conn, 99, conn_seq[conn], 0); }\n\
+    if (half_open >= 4) {\n\
+      degraded = 1;\n\
+      net_shed_half_open();\n\
+    }\n\
+    conn_state[conn] = 1;\n\
+    conn_seq[conn] = 0;\n\
+    conn_acc[conn] = 0;\n\
+    half_open = half_open + 1;\n\
+    return net_respond(conn, 65, 0, net_h[0](conn, 0, 0));\n\
+  }\n\
+  if (flags == 2) {\n\
+    if (st == 0) { return net_respond(conn, 98, 0, 0); }\n\
+    if (st == 2) { return net_respond(conn, 99, 0, 0); }\n\
+    conn_state[conn] = 2;\n\
+    half_open = half_open - 1;\n\
+    established = established + 1;\n\
+    return net_respond(conn, 66, 0, net_h[0](conn, 0, 0));\n\
+  }\n\
+  if (flags == 16) {\n\
+    if (st != 2) { return net_respond(conn, 98, conn_seq[conn], st); }\n\
+    if (seq != conn_seq[conn]) {\n\
+      if (seq < conn_seq[conn]) { return net_respond(conn, 99, conn_seq[conn], 0); }\n\
+      return net_respond(conn, 98, conn_seq[conn], 0);\n\
+    }\n\
+    int acc = conn_acc[conn];\n\
+    i = 0;\n\
+    while (i < plen) { acc = net_h[1](acc, seq, net_rx[4 + i]); i = i + 1; }\n\
+    conn_acc[conn] = acc;\n\
+    conn_seq[conn] = seq + 1;\n\
+    net_tx[0] = (char)conn;\n\
+    net_tx[1] = (char)67;\n\
+    net_tx[2] = (char)seq;\n\
+    net_tx[3] = (char)(acc % 113);\n\
+    i = 0;\n\
+    while (i < plen) { net_tx[4 + i] = (char)((net_rx[4 + i] + 1) % 128); i = i + 1; }\n\
+    net_tx_len = plen + 4;\n\
+    return 67;\n\
+  }\n\
+  if (flags == 4) {\n\
+    if (st != 2) { return net_respond(conn, 98, conn_seq[conn], st); }\n\
+    if (seq != conn_seq[conn]) { return net_respond(conn, 98, conn_seq[conn], 0); }\n\
+    int digest = net_h[2](conn, conn_acc[conn], 0);\n\
+    conn_state[conn] = 0;\n\
+    established = established - 1;\n\
+    return net_respond(conn, 68, conn_seq[conn], digest);\n\
+  }\n\
+  if (flags == 8) {\n\
+    if (st == 0) { rst_challenged = rst_challenged + 1; return net_respond(conn, 100, 0, 0); }\n\
+    if (net_h[3](conn, seq, conn_seq[conn])) {\n\
+      if (st == 1) { half_open = half_open - 1; }\n\
+      if (st == 2) { established = established - 1; }\n\
+      conn_state[conn] = 0;\n\
+      conn_seq[conn] = 0;\n\
+      conn_acc[conn] = 0;\n\
+      return net_respond(conn, 69, 0, 0);\n\
+    }\n\
+    rst_challenged = rst_challenged + 1;\n\
+    return net_respond(conn, 100, 0, 0);\n\
+  }\n\
+  return net_respond(conn, 110, net_h[4](conn, flags, st), st);\n\
+}\n\
+\n",
+    );
+    if self_driving {
+        src.push_str(
+            "\
+// Self-driving mode: synthesize one segment per run from a seeded\n\
+// in-guest generator, reloading handlers once partway through.\n\
+int gen_state = 1;\n\
+int gen_cursor = 0;\n\
+\n\
+int gen_next(void) {\n\
+  gen_state = (gen_state * 48271) % 2147483647;\n\
+  return gen_state;\n\
+}\n\
+\n\
+int net_encode(int conn, int flags, int seq, int plen) {\n\
+  net_rx[0] = (char)conn;\n\
+  net_rx[1] = (char)flags;\n\
+  net_rx[2] = (char)seq;\n\
+  net_rx[3] = (char)plen;\n\
+  int i = 0;\n\
+  while (i < plen) { net_rx[4 + i] = (char)(gen_next() % 96); i = i + 1; }\n\
+  int sum = 7;\n\
+  i = 0;\n\
+  while (i < plen + 4) { sum = (sum + net_rx[i]) % 128; i = i + 1; }\n\
+  net_rx[plen + 4] = (char)sum;\n\
+  net_rx_len = plen + 5;\n\
+  return net_rx_len;\n\
+}\n\
+\n\
+int main(void) {\n\
+  if (handler_version == 0) {\n\
+    if (!net_bind()) { return 111; }\n\
+  }\n\
+  if (handler_version < 2 && gen_cursor % 17 == 16) { net_reload(); }\n\
+  int phase = gen_cursor % 6;\n\
+  int conn = (gen_cursor / 6) % 12;\n\
+  gen_cursor = gen_cursor + 1;\n\
+  if (phase == 0) { net_encode(conn, 1, 0, 0); }\n\
+  if (phase == 1) { net_encode(conn, 2, 0, 0); }\n\
+  if (phase == 2) { net_encode(conn, 16, 0, 4); }\n\
+  if (phase == 3) { net_encode(conn, 16, 1, 4); }\n\
+  if (phase == 4) { net_encode(conn, 4, 2, 0); }\n\
+  if (phase == 5) { net_encode(conn, 3, 0, 0); }\n\
+  net_handle();\n\
+  return 0;\n\
+}\n",
+        );
+    } else {
+        src.push_str(
+            "\
+int main(void) {\n\
+  if (net_ctl == 1) {\n\
+    net_ctl = 0;\n\
+    return 200 + net_reload();\n\
+  }\n\
+  if (handler_version == 0) {\n\
+    if (!net_bind()) { return 111; }\n\
+  }\n\
+  return net_handle();\n\
+}\n",
+        );
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_sources_compile_under_both_policies() {
+        let copts = mcfi_codegen::CodegenOptions::default();
+        let plain = mcfi_codegen::CodegenOptions {
+            policy: mcfi_codegen::Policy::NoCfi,
+            ..Default::default()
+        };
+        for opts in [&copts, &plain] {
+            mcfi_codegen::compile_source("nethandlers", HANDLERS_V1_SRC, opts).unwrap();
+            mcfi_codegen::compile_source("nethandlers_v2", HANDLERS_V2_SRC, opts).unwrap();
+            mcfi_codegen::compile_source("netserver", &server_source(false), opts)
+                .unwrap_or_else(|e| panic!("{e}"));
+            mcfi_codegen::compile_source("netserver", &server_source(true), opts)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}

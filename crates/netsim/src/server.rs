@@ -1,0 +1,492 @@
+//! [`NetServer`]: the host-side harness that boots the MiniC network
+//! guest, delivers segments through the chaos pipeline, and enforces
+//! the client's retransmission discipline.
+//!
+//! Each segment is delivered over a shared-memory mailbox
+//! (`net_rx`/`net_tx` guest globals, host [`Process::peek`]/
+//! [`Process::poke`]) and the guest runs one request per delivery. The
+//! client loop retries *transient* responses (checksum reject 97,
+//! out-of-order/out-of-state 98, blind-reset challenge 100) under a
+//! deadline/retry/backoff budget — the shared [`Backoff`] from
+//! `mcfi-chaos` — and records only the *final* response of each segment
+//! into the **settled stream**. Network faults from
+//! [`mcfi_chaos::NET_POINTS`] perturb delivery (drops, corruption,
+//! reorder, forged peer resets, slowloris stalls); the settled stream
+//! stays byte-identical to a fault-free run because every fault is
+//! detected, tolerated, or waited out before a response is recorded.
+
+use std::sync::Arc;
+
+use mcfi_chaos::{Backoff, ChaosInjector, FaultPlan, FaultPoint};
+use mcfi_codegen::{compile_source, CodegenOptions, Policy};
+use mcfi_runtime::mem::MemFault;
+use mcfi_runtime::{stdlib, synth, LoadError, Outcome, Process, ProcessOptions};
+
+use crate::guest;
+use crate::wire::{Segment, BLIND_SEQ};
+
+/// Response codes the client treats as transient (retry after backoff):
+/// checksum reject, out-of-order/out-of-state, blind-reset challenge.
+const TRANSIENT: [i64; 3] = [97, 98, 100];
+
+/// The give-up marker recorded when a segment exhausts its retry
+/// budget: `[conn, 126, 0, 0]`. Never reached by the seeded fault plans
+/// the tests use (budgets exceed the worst consecutive-fault run), but
+/// the client degrades loudly rather than wedging if a plan is crueler.
+pub const GIVE_UP: u8 = 126;
+
+/// Client/server policy knobs.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Ticks a single delivery attempt may take before it counts as
+    /// timed out (stalls at least this long burn the attempt).
+    pub deadline: u64,
+    /// Retries per segment beyond the first attempt; exhausting them
+    /// records a [`GIVE_UP`] marker instead of wedging.
+    pub max_retries: u32,
+    /// Exponential-backoff policy applied between attempts.
+    pub backoff: Backoff,
+    /// When set, hot-reload the handler module (a `dlopen` update
+    /// transaction) between segment `n` and `n + 1`.
+    pub reload_at: Option<usize>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            deadline: 8,
+            max_retries: 6,
+            backoff: Backoff { seed: 7, base: 2 },
+            reload_at: None,
+        }
+    }
+}
+
+/// Why the harness failed (distinct from protocol-level rejections,
+/// which are data in the settled stream).
+#[derive(Debug)]
+pub enum NetError {
+    /// Loading or running the guest failed.
+    Load(LoadError),
+    /// A mailbox peek/poke faulted.
+    Mem(MemFault),
+    /// The guest ended a request abnormally (CFI halt, step limit, …).
+    Guest(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Load(e) => write!(f, "net guest load: {e}"),
+            NetError::Mem(e) => write!(f, "net mailbox: {e:?}"),
+            NetError::Guest(s) => write!(f, "net guest: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<LoadError> for NetError {
+    fn from(e: LoadError) -> Self {
+        NetError::Load(e)
+    }
+}
+
+impl From<MemFault> for NetError {
+    fn from(e: MemFault) -> Self {
+        NetError::Mem(e)
+    }
+}
+
+/// The run's health verdict, the network analogue of the fleet's
+/// `FleetVerdict`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetVerdict {
+    /// No degradation: every connection got full service.
+    Healthy,
+    /// The server entered degraded mode (shed half-open connections
+    /// past its budget) or the client gave up on a segment.
+    Degraded,
+}
+
+/// Counters for one [`NetServer::drive`] — client-side retransmission
+/// accounting, guest-global mirrors, and run totals.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct NetStats {
+    /// Script segments driven.
+    pub segments: usize,
+    /// Delivery attempts (first tries plus retries).
+    pub attempts: u64,
+    /// Retries (attempts beyond each segment's first).
+    pub retries: u64,
+    /// Transient checksum rejections observed (code 97).
+    pub naks: u64,
+    /// Transient out-of-order/out-of-state rejections observed (98).
+    pub ooo: u64,
+    /// Blind-reset challenges observed by the client (100).
+    pub challenges: u64,
+    /// Duplicate-final responses recorded (99).
+    pub dups: u64,
+    /// `net-drop` faults absorbed.
+    pub drops: u64,
+    /// `net-corrupt` faults absorbed.
+    pub corrupts: u64,
+    /// `net-reorder` faults absorbed (early deliveries).
+    pub reorders: u64,
+    /// `peer-abort` forged resets injected.
+    pub aborts_injected: u64,
+    /// `slowloris-stall` faults absorbed.
+    pub stalls: u64,
+    /// Ticks spent inside stalls.
+    pub stall_ticks: u64,
+    /// Ticks spent sleeping between retries (the backoff budget).
+    pub backoff_ticks: u64,
+    /// Simulated client clock at the end of the drive.
+    pub clock: u64,
+    /// Segments that exhausted their retry budget.
+    pub give_ups: u64,
+    /// Guest mirror: connections currently established.
+    pub established: i64,
+    /// Guest mirror: connections currently half-open.
+    pub half_open: i64,
+    /// Guest mirror: half-open connections shed in degraded mode.
+    pub shed_count: i64,
+    /// Guest mirror: 1 once the server entered degraded mode.
+    pub degraded: i64,
+    /// Guest mirror: blind resets challenged (RFC 5961-style).
+    pub rst_challenged: i64,
+    /// Guest mirror: handler module version currently bound (1 or 2).
+    pub handler_version: i64,
+    /// Guest mirror: failed handler-reload attempts.
+    pub reload_fails: i64,
+    /// Guest mirror: checksum-valid segments served.
+    pub served: i64,
+    /// Instructions executed across all requests.
+    pub steps: u64,
+    /// Simulated cycles across all requests.
+    pub cycles: u64,
+    /// Check transactions across all requests.
+    pub checks: u64,
+    /// Update transactions (dlopens) across all requests.
+    pub updates: u64,
+    /// Successful handler hot-reloads driven by the host.
+    pub reloads: u64,
+}
+
+/// The result of driving a script: the settled response stream and the
+/// accounting behind it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetOutcome {
+    /// Concatenated final responses, in segment order. Byte-identical
+    /// across fault plans once retries settle.
+    pub stream: Vec<u8>,
+    /// The drive's counters.
+    pub stats: NetStats,
+    /// Health verdict.
+    pub verdict: NetVerdict,
+}
+
+/// The host harness: a booted guest process plus the client loop.
+pub struct NetServer {
+    process: Process,
+    injector: Option<Arc<ChaosInjector>>,
+    cfg: NetConfig,
+    rx_addr: u64,
+    tx_addr: u64,
+}
+
+impl NetServer {
+    /// Boots the network guest under `policy` (use [`Policy::NoCfi`]
+    /// for the plain-baseline A/B leg) with default process options.
+    pub fn boot(policy: Policy, cfg: NetConfig) -> Result<NetServer, NetError> {
+        Self::boot_with(policy, cfg, ProcessOptions::default())
+    }
+
+    /// [`NetServer::boot`] with explicit [`ProcessOptions`] (the audit
+    /// A/B leg flips the violation policy here).
+    pub fn boot_with(
+        policy: Policy,
+        cfg: NetConfig,
+        popts: ProcessOptions,
+    ) -> Result<NetServer, NetError> {
+        let copts = CodegenOptions { policy, ..Default::default() };
+        let compile = |module: &str, src: &str| {
+            compile_source(module, src, &copts)
+                .unwrap_or_else(|e| panic!("netsim guest module {module}: {e}"))
+        };
+        let mut p = Process::new(popts)?;
+        p.load_all(vec![
+            // The plain-baseline leg needs uninstrumented stubs: an
+            // instrumented stub returning into no-CFI code would halt.
+            synth::syscall_module_with(policy == Policy::Mcfi),
+            compile("libms", stdlib::LIBMS_SRC),
+            compile("nethandlers", guest::HANDLERS_V1_SRC),
+            compile("netserver", &guest::server_source(false)),
+            // Last, so its direct call to `main` needs no PLT detour
+            // (the detour is instrumented; the plain leg has no tables).
+            compile("start", stdlib::START_SRC),
+        ])?;
+        p.register_library(
+            guest::RELOAD_LIBRARY,
+            compile(guest::RELOAD_LIBRARY, guest::HANDLERS_V2_SRC),
+        );
+        let rx_addr = p
+            .global("net_rx")
+            .ok_or_else(|| NetError::Guest("net_rx missing".into()))?;
+        let tx_addr = p
+            .global("net_tx")
+            .ok_or_else(|| NetError::Guest("net_tx missing".into()))?;
+        Ok(NetServer { process: p, injector: None, cfg, rx_addr, tx_addr })
+    }
+
+    /// Arms a network fault plan; returns the injector for post-run
+    /// inspection (`fired`, `hit_count`).
+    pub fn arm_chaos(&mut self, plan: FaultPlan) -> Arc<ChaosInjector> {
+        let inj = ChaosInjector::arm(plan);
+        self.injector = Some(Arc::clone(&inj));
+        inj
+    }
+
+    /// The booted process (read-only), for policy/table inspection.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Delivers raw wire bytes to the guest and runs one request.
+    /// Returns the guest's response bytes and the request's exit code.
+    fn deliver(&mut self, bytes: &[u8], stats: &mut NetStats) -> Result<(Vec<u8>, i64), NetError> {
+        self.process.poke(self.rx_addr, bytes)?;
+        self.process.poke_global_int("net_rx_len", bytes.len() as i64);
+        let r = self.process.run("__start")?;
+        stats.steps += r.steps;
+        stats.cycles += r.cycles;
+        stats.checks += r.checks;
+        stats.updates += r.updates;
+        let code = match r.outcome {
+            Outcome::Exit { code } => code,
+            other => return Err(NetError::Guest(format!("request died: {other:?}"))),
+        };
+        let len = self
+            .process
+            .peek_global_int("net_tx_len")
+            .unwrap_or(0)
+            .clamp(0, 96) as usize;
+        let resp = self.process.peek(self.tx_addr, len)?;
+        Ok((resp, code))
+    }
+
+    /// Triggers the guest's handler hot-reload (a `dlopen` update
+    /// transaction) via the `net_ctl` mailbox. Returns whether the
+    /// reload committed.
+    pub fn hot_reload(&mut self, stats: &mut NetStats) -> Result<bool, NetError> {
+        self.process.poke_global_int("net_ctl", 1);
+        let r = self.process.run("__start")?;
+        stats.steps += r.steps;
+        stats.cycles += r.cycles;
+        stats.checks += r.checks;
+        stats.updates += r.updates;
+        match r.outcome {
+            Outcome::Exit { code: 201 } => {
+                stats.reloads += 1;
+                Ok(true)
+            }
+            Outcome::Exit { code: 200 } => Ok(false),
+            other => Err(NetError::Guest(format!("reload died: {other:?}"))),
+        }
+    }
+
+    fn fire(&self, point: FaultPoint) -> Option<u64> {
+        self.injector.as_ref()?.fire(point)
+    }
+
+    /// Drives a segment script to its settled response stream.
+    ///
+    /// Per segment: encode, pass through the chaos pipeline
+    /// (stall → drop → reorder → forged reset → corruption), deliver,
+    /// classify the response. Transient responses retry after
+    /// [`Backoff::delay`] until the budget is spent; only final
+    /// responses are recorded. A fired reorder delivers the *next*
+    /// segment early — its response is recorded in its own slot if
+    /// final (different connection: order-independent) and discarded if
+    /// transient (same connection: the state machine rejects it), so
+    /// the settled stream is invariant under adjacent swaps.
+    pub fn drive(&mut self, script: &[Segment]) -> Result<NetOutcome, NetError> {
+        let mut stats = NetStats { segments: script.len(), ..Default::default() };
+        let mut stream = Vec::new();
+        let mut early: Option<(usize, Vec<u8>)> = None;
+        for (k, seg) in script.iter().enumerate() {
+            if self.cfg.reload_at == Some(k) && k > 0 {
+                self.hot_reload(&mut stats)?;
+            }
+            if let Some((at, resp)) = early.take() {
+                if at == k {
+                    stream.extend_from_slice(&resp);
+                    continue;
+                }
+                early = Some((at, resp));
+            }
+            let key = format!("seg{k}");
+            let mut attempt: u32 = 0;
+            loop {
+                attempt += 1;
+                if attempt > 1 {
+                    stats.retries += 1;
+                    let nap = self.cfg.backoff.delay(&key, attempt - 1);
+                    stats.backoff_ticks += nap;
+                    stats.clock += nap;
+                }
+                if attempt > self.cfg.max_retries + 1 {
+                    stream.extend_from_slice(&[seg.conn, GIVE_UP, 0, 0]);
+                    stats.give_ups += 1;
+                    break;
+                }
+                stats.attempts += 1;
+                let mut bytes = seg.encode();
+                if let Some(p) = self.fire(FaultPoint::SlowlorisStall) {
+                    stats.stalls += 1;
+                    stats.stall_ticks += p;
+                    stats.clock += p;
+                    if p >= self.cfg.deadline {
+                        continue; // the attempt timed out mid-stall
+                    }
+                }
+                if self.fire(FaultPoint::NetDrop).is_some() {
+                    stats.drops += 1;
+                    stats.clock += self.cfg.deadline; // wait out the timeout
+                    continue;
+                }
+                if self.fire(FaultPoint::NetReorder).is_some() {
+                    if let Some(next) = script.get(k + 1) {
+                        if early.is_none() {
+                            stats.reorders += 1;
+                            let enc = next.encode();
+                            let (resp, code) = self.deliver(&enc, &mut stats)?;
+                            stats.clock += 1;
+                            if !TRANSIENT.contains(&code) {
+                                early = Some((k + 1, resp));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = self.fire(FaultPoint::PeerAbort) {
+                    stats.aborts_injected += 1;
+                    let victim = (p % 16) as u8;
+                    let forged = Segment::rst(victim, BLIND_SEQ).encode();
+                    // A forged reset never matches the connection's
+                    // sequence state, so the guest challenges it; the
+                    // attacker gets no response worth recording.
+                    self.deliver(&forged, &mut stats)?;
+                    stats.clock += 1;
+                }
+                if let Some(p) = self.fire(FaultPoint::NetCorrupt) {
+                    let off = (p as usize) % bytes.len();
+                    bytes[off] ^= 0x5a;
+                    stats.corrupts += 1;
+                }
+                let (resp, code) = self.deliver(&bytes, &mut stats)?;
+                stats.clock += 1;
+                if TRANSIENT.contains(&code) {
+                    match code {
+                        97 => stats.naks += 1,
+                        98 => stats.ooo += 1,
+                        _ => stats.challenges += 1,
+                    }
+                    continue;
+                }
+                if code == 99 {
+                    stats.dups += 1;
+                }
+                stream.extend_from_slice(&resp);
+                break;
+            }
+        }
+        let mirror = |name| self.process.peek_global_int(name).unwrap_or(-1);
+        stats.established = mirror("established");
+        stats.half_open = mirror("half_open");
+        stats.shed_count = mirror("shed_count");
+        stats.degraded = mirror("degraded");
+        stats.rst_challenged = mirror("rst_challenged");
+        stats.handler_version = mirror("handler_version");
+        stats.reload_fails = mirror("reload_fails");
+        stats.served = mirror("served");
+        let verdict = if stats.degraded > 0 || stats.give_ups > 0 {
+            NetVerdict::Degraded
+        } else {
+            NetVerdict::Healthy
+        };
+        Ok(NetOutcome { stream, stats, verdict })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{PacketGen, TrafficSpec};
+
+    fn script(spec: &TrafficSpec) -> Vec<Segment> {
+        PacketGen::new(spec.seed).script(spec)
+    }
+
+    #[test]
+    fn clean_adversarial_drive_degrades_without_dropping_service() {
+        let mut srv = NetServer::boot(Policy::Mcfi, NetConfig::default()).expect("boots");
+        let spec = TrafficSpec::default();
+        let out = srv.drive(&script(&spec)).expect("drives");
+        let s = &out.stats;
+        assert_eq!(s.retries, 0, "no faults, no retries: {s:?}");
+        assert_eq!(s.give_ups, 0);
+        // The SYN flood pushed the guest past its half-open budget: it
+        // shed the two oldest flooded connections and flagged degraded
+        // mode — but every *real* connection completed its lifecycle.
+        assert_eq!(out.verdict, NetVerdict::Degraded);
+        assert_eq!(s.shed_count, 2, "{s:?}");
+        assert_eq!(s.established, 0, "all real connections closed via FIN");
+        // 6 flood SYNs accepted, 2 shed, conn 15 genuinely reset.
+        assert_eq!(s.half_open, 3, "{s:?}");
+        assert!(s.checks > 0, "MCFI guarded every handler dispatch");
+        // FIN responses carry the per-connection digest: the stream is
+        // deterministic.
+        let again = NetServer::boot(Policy::Mcfi, NetConfig::default())
+            .expect("boots")
+            .drive(&script(&spec))
+            .expect("drives");
+        assert_eq!(again.stream, out.stream);
+    }
+
+    #[test]
+    fn settled_stream_is_fault_invariant() {
+        let spec = TrafficSpec::default();
+        let base = NetServer::boot(Policy::Mcfi, NetConfig::default())
+            .expect("boots")
+            .drive(&script(&spec))
+            .expect("drives");
+        let plan = FaultPlan::random_net(1, 6);
+        let mut srv = NetServer::boot(Policy::Mcfi, NetConfig::default()).expect("boots");
+        let inj = srv.arm_chaos(plan);
+        let out = srv.drive(&script(&spec)).expect("drives");
+        assert!(!inj.fired().is_empty(), "the plan actually fired");
+        assert!(out.stats.retries > 0, "faults forced retransmissions: {:?}", out.stats);
+        assert_eq!(out.stream, base.stream, "settled stream is byte-identical");
+        assert_eq!(out.stats.give_ups, 0);
+    }
+
+    #[test]
+    fn hot_reload_mid_script_keeps_connections_and_stream() {
+        let spec = TrafficSpec { adversarial: false, ..TrafficSpec::default() };
+        let base = NetServer::boot(Policy::Mcfi, NetConfig::default())
+            .expect("boots")
+            .drive(&script(&spec))
+            .expect("drives");
+        let sc = script(&spec);
+        // Reload right after the handshakes: every connection is
+        // established when the handler module swaps underneath them.
+        let cfg = NetConfig { reload_at: Some(2 * spec.conns as usize), ..Default::default() };
+        let mut srv = NetServer::boot(Policy::Mcfi, cfg).expect("boots");
+        let out = srv.drive(&sc).expect("drives");
+        assert_eq!(out.stats.reloads, 1, "{:?}", out.stats);
+        assert_eq!(out.stats.handler_version, 2);
+        assert!(out.stats.updates >= 1, "dlopen ran as an update transaction");
+        assert_eq!(out.stream, base.stream, "v2 handlers answer byte-identically");
+        assert_eq!(out.verdict, NetVerdict::Healthy);
+    }
+}

@@ -1148,6 +1148,41 @@ impl Process {
         None
     }
 
+    /// Reads `len` guest bytes at `addr` through the sandbox's permission
+    /// checks — the host side of a shared-memory mailbox (e.g. a network
+    /// harness peeking a response buffer the guest filled).
+    pub fn peek(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        (0..len as u64).map(|i| self.mem.read8(addr + i)).collect()
+    }
+
+    /// Writes `bytes` into guest data memory at `addr` through the
+    /// sandbox's permission checks — the host side of a shared-memory
+    /// mailbox (e.g. a network harness delivering a packet into the
+    /// guest's receive buffer between runs). Data writes never touch code
+    /// pages, so the predecode/translation caches stay valid.
+    pub fn poke(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.mem.write8(addr + i as u64, b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a guest `int` (8 bytes, as MiniC lays them out) at the
+    /// address of global `name`.
+    pub fn peek_global_int(&self, name: &str) -> Option<i64> {
+        let addr = self.global(name)?;
+        self.mem.read64(addr).ok().map(|v| v as i64)
+    }
+
+    /// Writes a guest `int` global by `name`; returns `false` when the
+    /// global does not exist or the write faults.
+    pub fn poke_global_int(&mut self, name: &str, value: i64) -> bool {
+        match self.global(name) {
+            Some(addr) => self.mem.write64(addr, value as u64).is_ok(),
+            None => false,
+        }
+    }
+
     /// The loaded modules with their code bases, for policy generation by
     /// external tooling (e.g. installing a baseline policy).
     pub fn placed_modules(&self) -> Vec<Placed<'_>> {

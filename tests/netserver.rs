@@ -1,0 +1,209 @@
+//! Network-service battery: the MCFI-protected TCP-style server under
+//! adversarial traffic.
+//!
+//! The properties under test are the robustness contract from the
+//! paper's dynamic-linking story, lifted to a long-lived service:
+//!
+//! * **Fault invariance** — under every seeded network fault plan the
+//!   *settled* response stream (final responses after the client's
+//!   retransmission discipline) is byte-identical to a fault-free run.
+//! * **Hot-reload continuity** — a `dlopen` update transaction swaps
+//!   the handler module between request N and N+1 while connections
+//!   stay established and per-connection state survives.
+//! * **Degradation over wedging** — a SYN flood past the half-open
+//!   budget sheds the oldest half-open connections (and says so) while
+//!   every established connection keeps full service.
+//!
+//! The seed matrix is overridable with `MCFI_NET_SEED` (the CI
+//! `net-storm` job sweeps it).
+
+use mcfi::{
+    FaultPlan, NetConfig, NetServer, NetVerdict, PacketGen, Policy, ProcessOptions, Segment,
+    TrafficSpec, ViolationPolicy,
+};
+
+fn script(spec: &TrafficSpec) -> Vec<Segment> {
+    PacketGen::new(spec.seed).script(spec)
+}
+
+fn net_seeds() -> Vec<u64> {
+    match std::env::var("MCFI_NET_SEED").ok().and_then(|s| s.parse().ok()) {
+        Some(seed) => vec![seed],
+        None => vec![1, 2, 3],
+    }
+}
+
+/// Splits a settled stream back into per-segment `(conn, code)` pairs
+/// using the script for response framing (data echoes are
+/// variable-length).
+fn parse_stream(sc: &[Segment], stream: &[u8]) -> Vec<(u8, u8)> {
+    let mut at = 0;
+    let mut out = Vec::new();
+    for seg in sc {
+        let (conn, code) = (stream[at], stream[at + 1]);
+        out.push((conn, code));
+        at += 4;
+        if code == 67 {
+            at += seg.payload.len(); // the transformed payload echo
+        }
+    }
+    assert_eq!(at, stream.len(), "stream framing consumed exactly");
+    out
+}
+
+/// Satellite: heal/upgrade the handler module between request N and
+/// N+1 of a live connection — per-connection state (the data
+/// accumulator and expected sequence number) must survive the update
+/// transaction, proven by byte-identical responses after the swap.
+#[test]
+fn connection_state_survives_handler_reload_between_requests() {
+    let sc = vec![
+        Segment::syn(3),
+        Segment::ack(3),
+        Segment::data(3, 0, vec![5, 6, 7]),
+        // reload lands here: between request N and N+1
+        Segment::data(3, 1, vec![9, 2]),
+        Segment::fin(3, 2),
+    ];
+    let base = NetServer::boot(Policy::Mcfi, NetConfig::default())
+        .expect("boots")
+        .drive(&sc)
+        .expect("drives");
+    let cfg = NetConfig { reload_at: Some(3), ..Default::default() };
+    let mut srv = NetServer::boot(Policy::Mcfi, cfg).expect("boots");
+    let out = srv.drive(&sc).expect("drives");
+    assert_eq!(out.stats.reloads, 1, "the reload committed: {:?}", out.stats);
+    assert_eq!(out.stats.handler_version, 2, "v2 handlers bound");
+    assert!(out.stats.updates >= 1, "dlopen ran as an update transaction");
+    assert_eq!(out.stats.reload_fails, 0);
+    // Byte-identity of the post-reload responses is the proof that the
+    // accumulator and sequence state crossed the reload intact: the
+    // data-ack digest and the FIN digest both fold in state built
+    // before the swap.
+    assert_eq!(out.stream, base.stream, "zero connection disruption across reload");
+    assert_eq!(parse_stream(&sc, &out.stream).last().unwrap().1, 68, "FIN acked");
+    assert_eq!(out.verdict, NetVerdict::Healthy);
+    assert_eq!(out.stats.established, 0, "connection closed cleanly after the reload");
+}
+
+/// Acceptance: under every seeded fault plan (6 network faults each)
+/// the settled stream is byte-identical to the fault-free run, with
+/// zero give-ups and zero established connections dropped by chaos.
+#[test]
+fn settled_stream_is_byte_identical_under_seeded_fault_plans() {
+    for seed in net_seeds() {
+        let spec = TrafficSpec { seed, ..TrafficSpec::default() };
+        let sc = script(&spec);
+        let base = NetServer::boot(Policy::Mcfi, NetConfig::default())
+            .expect("boots")
+            .drive(&sc)
+            .expect("drives");
+        let plan = FaultPlan::random_net(seed, 6);
+        let wire = plan.wire();
+        let mut srv = NetServer::boot(Policy::Mcfi, NetConfig::default()).expect("boots");
+        let inj = srv.arm_chaos(plan);
+        let out = srv.drive(&sc).expect("drives");
+        assert!(!inj.fired().is_empty(), "seed {seed}: plan {wire} never fired");
+        assert_eq!(
+            out.stream, base.stream,
+            "seed {seed}: settled stream diverged under plan {wire}"
+        );
+        assert_eq!(out.stats.give_ups, 0, "seed {seed}: retry budget covers the plan");
+        assert_eq!(
+            out.stats.established, base.stats.established,
+            "seed {seed}: chaos tore an established connection"
+        );
+        // Forged resets (if the plan drew any) were all challenged,
+        // never honored.
+        assert_eq!(out.stats.rst_challenged as u64, out.stats.aborts_injected);
+    }
+}
+
+/// Fault plans also replay deterministically: same plan, same stats.
+#[test]
+fn fault_runs_replay_deterministically() {
+    let spec = TrafficSpec::default();
+    let sc = script(&spec);
+    let run = || {
+        let mut srv = NetServer::boot(Policy::Mcfi, NetConfig::default()).expect("boots");
+        srv.arm_chaos(FaultPlan::random_net(2, 6));
+        srv.drive(&sc).expect("drives")
+    };
+    assert_eq!(run(), run());
+}
+
+/// The SYN flood pushes the guest past its half-open budget: degraded
+/// mode sheds the two oldest half-open (flood) connections, the genuine
+/// reset tears down its own connection, and every real connection still
+/// completes its full lifecycle.
+#[test]
+fn syn_flood_sheds_half_open_and_flags_degraded() {
+    let spec = TrafficSpec::default();
+    let sc = script(&spec);
+    let mut srv = NetServer::boot(Policy::Mcfi, NetConfig::default()).expect("boots");
+    let out = srv.drive(&sc).expect("drives");
+    assert_eq!(out.verdict, NetVerdict::Degraded, "shedding is a verdict, not silence");
+    assert_eq!(out.stats.shed_count, 2, "{:?}", out.stats);
+    assert_eq!(out.stats.half_open, 3, "6 flooded, 2 shed, 1 genuinely reset");
+    let codes = parse_stream(&sc, &out.stream);
+    for c in 0..spec.conns {
+        assert!(
+            codes.iter().any(|&(conn, code)| conn == c && code == 68),
+            "conn {c} completed its lifecycle through the flood"
+        );
+    }
+    assert!(codes.contains(&(15, 69)), "the genuine reset was honored");
+    assert_eq!(
+        codes.iter().filter(|&&(_, code)| code == 110).count(),
+        2,
+        "junk flags and the malformed segment are final protocol errors"
+    );
+}
+
+/// The A/B legs of `server_ab` answer identically: CFI enforcement,
+/// audit-only enforcement, and no CFI at all are observationally
+/// equivalent on benign traffic — the overhead, not the answers, is
+/// what the bench measures.
+#[test]
+fn enforce_audit_and_plain_streams_are_identical() {
+    let spec = TrafficSpec { adversarial: false, ..TrafficSpec::default() };
+    let sc = script(&spec);
+    let drive = |policy, vp| {
+        let popts = ProcessOptions { violation_policy: vp, ..Default::default() };
+        NetServer::boot_with(policy, NetConfig::default(), popts)
+            .expect("boots")
+            .drive(&sc)
+            .expect("drives")
+    };
+    let enforce = drive(Policy::Mcfi, ViolationPolicy::Enforce);
+    let audit = drive(Policy::Mcfi, ViolationPolicy::Audit);
+    let plain = drive(Policy::NoCfi, ViolationPolicy::Enforce);
+    assert_eq!(enforce.stream, audit.stream);
+    assert_eq!(enforce.stream, plain.stream);
+    assert!(enforce.stats.checks > 0, "enforced leg ran check transactions");
+    assert_eq!(plain.stats.checks, 0, "plain leg runs no checks");
+    assert_eq!(enforce.verdict, NetVerdict::Healthy);
+}
+
+/// A hand-written worst-case plan: forged blind resets aimed straight
+/// at established connections, every one challenged RFC 5961-style.
+#[test]
+fn forged_resets_never_tear_established_connections() {
+    let spec = TrafficSpec { adversarial: false, ..TrafficSpec::default() };
+    let sc = script(&spec);
+    let base = NetServer::boot(Policy::Mcfi, NetConfig::default())
+        .expect("boots")
+        .drive(&sc)
+        .expect("drives");
+    // Three forged resets at different points of the stream, params
+    // picking different victim connections (param % 16).
+    let plan = FaultPlan::parse("seed=0;peer-abort@3(0);peer-abort@9(1);peer-abort@15(2)")
+        .expect("valid wire");
+    let mut srv = NetServer::boot(Policy::Mcfi, NetConfig::default()).expect("boots");
+    srv.arm_chaos(plan);
+    let out = srv.drive(&sc).expect("drives");
+    assert_eq!(out.stats.aborts_injected, 3);
+    assert_eq!(out.stats.rst_challenged, 3, "every blind reset challenged");
+    assert_eq!(out.stream, base.stream, "service stream untouched by the reset storm");
+    assert_eq!(out.verdict, NetVerdict::Healthy);
+}
